@@ -1,0 +1,63 @@
+package edmstream
+
+import (
+	"github.com/densitymountain/edmstream/internal/core"
+)
+
+// Clusterer is an online stream clusterer implementing the EDMStream
+// algorithm. Create one with New, feed it points with Insert, and query
+// the clustering with Snapshot and the evolution log with Events.
+// A Clusterer is not safe for concurrent use.
+type Clusterer struct {
+	core *core.EDMStream
+}
+
+// New creates a Clusterer with the given options.
+func New(opts Options) (*Clusterer, error) {
+	c, err := core.New(opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Clusterer{core: c}, nil
+}
+
+// Insert consumes one stream point. Points must carry either a numeric
+// vector or a token set, and a non-negative timestamp; invalid points
+// are rejected without changing the clusterer's state.
+func (c *Clusterer) Insert(p Point) error { return c.core.Insert(p) }
+
+// Snapshot refreshes and returns the current clustering: the clusters
+// (maximal strongly dependent subtrees of the DP-Tree), the τ used to
+// separate them, and cell counts.
+func (c *Clusterer) Snapshot() Snapshot { return c.core.Snapshot() }
+
+// LastSnapshot returns the most recent snapshot without recomputing the
+// clustering (cheap; reflects the state as of the last refresh).
+func (c *Clusterer) LastSnapshot() Snapshot { return c.core.LastSnapshot() }
+
+// Events returns the cluster evolution log: every emerge, disappear,
+// split, merge and adjust activity detected so far, in time order.
+func (c *Clusterer) Events() []Event { return c.core.Events() }
+
+// DecisionGraph returns the current decision graph: each active
+// cluster-cell's (density, dependent distance) pair. Plotting δ against
+// ρ reproduces the paper's Fig. 2b / Fig. 15.
+func (c *Clusterer) DecisionGraph() []DecisionPoint { return c.core.DecisionGraph() }
+
+// Stats returns the clusterer's internal counters (cells created,
+// promotions/demotions, filter hit counts, accumulated dependency
+// update time, ...).
+func (c *Clusterer) Stats() Stats { return c.core.Stats() }
+
+// Tau returns the cluster-separation threshold currently in effect.
+func (c *Clusterer) Tau() float64 { return c.core.Tau() }
+
+// Alpha returns the balance parameter used by the adaptive-τ objective.
+func (c *Clusterer) Alpha() float64 { return c.core.Alpha() }
+
+// Now returns the latest stream time the clusterer has observed.
+func (c *Clusterer) Now() float64 { return c.core.Now() }
+
+// ReservoirBound returns the theoretical upper bound on the number of
+// inactive cluster-cells held in the outlier reservoir.
+func (c *Clusterer) ReservoirBound() float64 { return c.core.ReservoirBound() }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func TestRunEmitsParsableCSV(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("sds", 500, 1, 1000, &out); err != nil {
+		t.Fatal(err)
+	}
+	points, err := stream.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("datagen output is not parsable by the shared CSV reader: %v", err)
+	}
+	if len(points) != 500 {
+		t.Fatalf("emitted %d points, want 500", len(points))
+	}
+	// Timestamps follow the requested rate.
+	if got := points[499].Time; got < 0.498 || got > 0.5 {
+		t.Errorf("last timestamp %v, want ~0.499 at 1000 pt/s", got)
+	}
+	for i, p := range points {
+		if p.Dim() != 2 {
+			t.Fatalf("point %d has dim %d, want 2 (SDS)", i, p.Dim())
+		}
+	}
+}
+
+func TestRunEveryDataset(t *testing.T) {
+	for _, name := range []string{"sds", "hds-10", "kdd", "covertype", "pamap2"} {
+		var out bytes.Buffer
+		if err := run(name, 200, 2, 1000, &out); err != nil {
+			t.Errorf("run(%q): %v", name, err)
+			continue
+		}
+		points, err := stream.ReadCSV(&out)
+		if err != nil || len(points) != 200 {
+			t.Errorf("run(%q): bad CSV output (%d points, err %v)", name, len(points), err)
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("no-such-dataset", 100, 1, 1000, &out); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run("sds", 100, 1, -1, &out); err == nil {
+		t.Error("negative rate should fail")
+	}
+}

@@ -1,0 +1,97 @@
+// Command edmstream clusters a numeric point stream read as CSV
+// (columns: time, label, x1..xd — the layout cmd/datagen emits) and
+// prints the resulting clusters and the cluster evolution log.
+//
+//	datagen -dataset sds | edmstream -radius 0.3
+//	edmstream -radius 0.3 -adaptive -input sds.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	edmstream "github.com/densitymountain/edmstream"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func main() {
+	radius := flag.Float64("radius", 0, "cluster-cell radius r (0 = pick from the data via the 1% pairwise-distance quantile)")
+	tau := flag.Float64("tau", 0, "static cluster-separation threshold (0 = choose from the decision graph)")
+	adaptive := flag.Bool("adaptive", false, "re-tune tau dynamically as the stream evolves")
+	rate := flag.Float64("rate", 1000, "expected arrival rate in points per second")
+	input := flag.String("input", "-", "input CSV file (\"-\" for stdin)")
+	showEvents := flag.Bool("events", true, "print the cluster evolution log")
+	flag.Parse()
+
+	if err := run(*radius, *tau, *adaptive, *rate, *input, *showEvents, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "edmstream: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(radius, tau float64, adaptive bool, rate float64, input string, showEvents bool, out io.Writer) error {
+	var r io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	points, err := readPoints(r)
+	if err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("no points in the input")
+	}
+	if radius <= 0 {
+		radius, err = edmstream.SuggestRadius(points, 0.01)
+		if err != nil {
+			return fmt.Errorf("choosing a radius: %w", err)
+		}
+		fmt.Fprintf(out, "chosen cluster-cell radius r = %.4g (1%% pairwise-distance quantile)\n", radius)
+	}
+
+	c, err := edmstream.New(edmstream.Options{
+		Radius:      radius,
+		Tau:         tau,
+		AdaptiveTau: adaptive,
+		Rate:        rate,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := c.Insert(p); err != nil {
+			return fmt.Errorf("point %d: %w", p.ID, err)
+		}
+	}
+
+	snap := c.Snapshot()
+	fmt.Fprintf(out, "processed %d points (stream time %.2fs), tau = %.4g\n", len(points), c.Now(), snap.Tau)
+	fmt.Fprintf(out, "clusters: %d, active cells: %d, outlier cells: %d\n", snap.NumClusters(), snap.ActiveCells, snap.OutlierCells)
+	for _, cl := range snap.Clusters {
+		fmt.Fprintf(out, "  cluster %d: %d cells, weight %.1f, peak density %.1f\n", cl.ID, len(cl.CellIDs), cl.Weight, cl.PeakDensity)
+	}
+	if showEvents {
+		fmt.Fprintln(out, "evolution log:")
+		for _, e := range c.Events() {
+			fmt.Fprintf(out, "  %s\n", e)
+		}
+	}
+	st := c.Stats()
+	fmt.Fprintf(out, "cells created: %d, promotions: %d, demotions: %d, deletions: %d\n",
+		st.CellsCreated, st.Promotions, st.Demotions, st.Deletions)
+	return nil
+}
+
+// readPoints parses the CSV stream into points using the shared layout
+// (time, label, x1..xd).
+func readPoints(r io.Reader) ([]edmstream.Point, error) {
+	return stream.ReadCSV(bufio.NewReader(r))
+}

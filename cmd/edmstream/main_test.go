@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// writeTestCSV writes a two-blob stream in the CLI's CSV layout and
+// returns its path.
+func writeTestCSV(t *testing.T, n int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		k := i % 2
+		base := float64(k) * 10
+		pts[i] = stream.Point{
+			ID:     int64(i),
+			Vector: []float64{base + rng.NormFloat64()*0.5, base + rng.NormFloat64()*0.5},
+			Label:  k,
+			Time:   float64(i) / 1000,
+		}
+	}
+	path := filepath.Join(t.TempDir(), "stream.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := stream.WriteCSV(f, pts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunClustersCSVFile(t *testing.T) {
+	path := writeTestCSV(t, 3000)
+	var out bytes.Buffer
+	if err := run(0.8, 3, false, 1000, path, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "clusters: 2") {
+		t.Errorf("expected 2 clusters in output:\n%s", text)
+	}
+	if !strings.Contains(text, "evolution log:") {
+		t.Errorf("expected evolution log in output:\n%s", text)
+	}
+}
+
+func TestRunAutoRadius(t *testing.T) {
+	path := writeTestCSV(t, 1500)
+	var out bytes.Buffer
+	// radius 0 asks the CLI to choose it from the data.
+	if err := run(0, 0, true, 1000, path, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chosen cluster-cell radius") {
+		t.Errorf("expected auto-chosen radius message:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(1, 0, false, 1000, filepath.Join(t.TempDir(), "missing.csv"), false, &out); err == nil {
+		t.Error("missing input file should fail")
+	}
+	// Empty file: no points.
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, 0, false, 1000, empty, false, &out); err == nil {
+		t.Error("empty input should fail")
+	}
+}

@@ -1,0 +1,149 @@
+package edmstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	c, err := New(Options{Radius: 0.8, Tau: 3, InitPoints: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	centers := [][]float64{{0, 0}, {10, 10}}
+	for i := 0; i < 4000; i++ {
+		k := i % 2
+		p := NewLabeledPoint(
+			[]float64{centers[k][0] + rng.NormFloat64()*0.5, centers[k][1] + rng.NormFloat64()*0.5},
+			float64(i)/1000, k)
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.NumClusters() != 2 {
+		t.Fatalf("got %d clusters, want 2", snap.NumClusters())
+	}
+	if c.Now() < 3.9 {
+		t.Errorf("Now = %v", c.Now())
+	}
+	if c.Tau() != 3 {
+		t.Errorf("Tau = %v, want the static 3", c.Tau())
+	}
+	if len(c.DecisionGraph()) == 0 {
+		t.Error("empty decision graph")
+	}
+	if c.Stats().Points != 4000 {
+		t.Errorf("Stats.Points = %d", c.Stats().Points)
+	}
+	if c.ReservoirBound() <= 0 {
+		t.Error("ReservoirBound should be positive")
+	}
+	if got := c.LastSnapshot().NumClusters(); got != snap.NumClusters() {
+		t.Errorf("LastSnapshot clusters = %d, want %d", got, snap.NumClusters())
+	}
+	if len(c.Events()) == 0 {
+		t.Error("no evolution events recorded")
+	}
+	if !(c.Alpha() >= 0 && c.Alpha() < 1) {
+		t.Errorf("Alpha = %v", c.Alpha())
+	}
+}
+
+func TestPublicOptionsValidation(t *testing.T) {
+	if err := (Options{Radius: 1}).Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	if err := (Options{}).Validate(); err == nil {
+		t.Error("missing radius should be rejected")
+	}
+	if _, err := New(Options{Radius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	// Filter plumbing: DisableFilters produces a working clusterer.
+	c, err := New(Options{Radius: 1, DisableFilters: true, Tau: 2, InitPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := c.Insert(NewPoint([]float64{float64(i % 5), 0}, float64(i)/1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().FilteredByDensity != 0 || c.Stats().FilteredByTriangle != 0 {
+		t.Error("DisableFilters did not disable the filters")
+	}
+	// Explicit filter selection is honored.
+	c2, err := New(Options{Radius: 1, Filters: FilterDensity, Tau: 2, InitPoints: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := c2.Insert(NewPoint([]float64{float64(i % 5), 0}, float64(i)/1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c2.Stats().FilteredByTriangle != 0 {
+		t.Error("triangle filter fired although only the density filter was selected")
+	}
+	// Negative EvolutionInterval disables automatic tracking.
+	if err := (Options{Radius: 1, EvolutionInterval: -1}).Validate(); err != nil {
+		t.Errorf("negative EvolutionInterval should mean disabled, got error: %v", err)
+	}
+}
+
+func TestPublicTextStream(t *testing.T) {
+	c, err := New(Options{Radius: 0.4, Tau: 0.8, InitPoints: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := [][]string{{"google", "wearable", "sdk"}, {"apple", "iphone", "patent"}}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		k := i % 2
+		doc := NewTokenSet(vocab[k]...)
+		doc.Add(vocab[k][rng.Intn(3)])
+		if err := c.Insert(NewTextPoint(doc, float64(i)/1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Snapshot().NumClusters(); got != 2 {
+		t.Errorf("text stream clusters = %d, want 2", got)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	p := NewPoint([]float64{1, 2}, 0.5)
+	if p.Label != NoLabel || p.Time != 0.5 {
+		t.Errorf("NewPoint = %+v", p)
+	}
+	lp := NewLabeledPoint([]float64{1}, 1, 3)
+	if lp.Label != 3 {
+		t.Errorf("NewLabeledPoint label = %d", lp.Label)
+	}
+	tp := NewTextPoint(NewTokenSet("a", "b"), 2)
+	if !tp.IsText() || tp.Tokens.Len() != 2 {
+		t.Errorf("NewTextPoint = %+v", tp)
+	}
+	d := DefaultDecay()
+	if d.A != 0.998 || d.Lambda != 1 {
+		t.Errorf("DefaultDecay = %+v", d)
+	}
+	var pts []Point
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		pts = append(pts, NewPoint([]float64{rng.Float64(), rng.Float64()}, 0))
+	}
+	r, err := SuggestRadius(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0 || math.IsNaN(r) {
+		t.Errorf("SuggestRadius = %v", r)
+	}
+	if _, err := SuggestRadius(pts[:1], 0.02); err == nil {
+		t.Error("SuggestRadius with one point should error")
+	}
+}

@@ -1,0 +1,68 @@
+package edmstream_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	edmstream "github.com/densitymountain/edmstream"
+)
+
+// Example demonstrates the basic EDMStream workflow: create a
+// clusterer, feed a stream of timestamped points, and read back the
+// clustering and the evolution log.
+func Example() {
+	c, err := edmstream.New(edmstream.Options{
+		Radius: 0.8, // cluster-cell radius
+		Tau:    3,   // dependency links longer than τ separate clusters
+		Rate:   1000,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Two well separated Gaussian blobs arriving at 1,000 points/second.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4000; i++ {
+		var x, y float64
+		if i%2 == 0 {
+			x, y = 0, 0
+		} else {
+			x, y = 10, 10
+		}
+		p := edmstream.NewPoint(
+			[]float64{x + rng.NormFloat64()*0.5, y + rng.NormFloat64()*0.5},
+			float64(i)/1000,
+		)
+		if err := c.Insert(p); err != nil {
+			panic(err)
+		}
+	}
+
+	snap := c.Snapshot()
+	fmt.Println("clusters:", snap.NumClusters())
+	// Output:
+	// clusters: 2
+}
+
+// Example_textStream clusters a stream of token sets (documents) with
+// the Jaccard distance, the setup used by the news-recommendation use
+// case.
+func Example_textStream() {
+	c, err := edmstream.New(edmstream.Options{Radius: 0.4, Tau: 0.8, Rate: 1000})
+	if err != nil {
+		panic(err)
+	}
+	topics := [][]string{
+		{"google", "android", "wearable"},
+		{"apple", "iphone", "patent"},
+	}
+	for i := 0; i < 2000; i++ {
+		tokens := edmstream.NewTokenSet(topics[i%2]...)
+		if err := c.Insert(edmstream.NewTextPoint(tokens, float64(i)/1000)); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("topic clusters:", c.Snapshot().NumClusters())
+	// Output:
+	// topic clusters: 2
+}

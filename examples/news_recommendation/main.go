@@ -1,0 +1,115 @@
+// News recommendation use case (the paper's Sec. 6.2.2 / Fig. 8 /
+// Table 3): a stream of short news documents is clustered online with
+// the Jaccard distance over term sets. Topic clusters carry tags (their
+// most frequent terms); the evolution log shows topics merging and
+// splitting as their popularity shifts, and the final clusters are used
+// to recommend related articles for a visited document.
+//
+//	go run ./examples/news_recommendation
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	edmstream "github.com/densitymountain/edmstream"
+	"github.com/densitymountain/edmstream/internal/text"
+)
+
+func main() {
+	const (
+		documents = 30000
+		rate      = 1000.0
+	)
+	docs, topics, err := text.NewsStream(text.NewsConfig{N: documents, Seed: 3}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scripted topic schedule (ground truth):")
+	for _, e := range text.NewsEvents() {
+		fmt.Printf("  %-6s at t=%.1fs: %v\n", e.Kind, e.Fraction*documents/rate, e.Topics)
+	}
+
+	c, err := edmstream.New(edmstream.Options{
+		Radius:            0.4, // Jaccard distance: documents sharing >60% of terms join a cell
+		Tau:               0.75,
+		Rate:              rate,
+		EvolutionInterval: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range docs {
+		d.Time = float64(i) / rate
+		if err := c.Insert(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snap := c.Snapshot()
+	fmt.Printf("\n%d topic clusters at the end of the stream:\n", snap.NumClusters())
+	tagsByCluster := map[int][]string{}
+	for _, cl := range snap.Clusters {
+		tags := topTags(cl, 3)
+		tagsByCluster[cl.ID] = tags
+		fmt.Printf("  cluster %d (%d cells): %v\n", cl.ID, len(cl.CellIDs), tags)
+	}
+
+	fmt.Println("\ntopic evolution (merges and splits):")
+	for _, e := range c.Events() {
+		if e.Kind == edmstream.Merge || e.Kind == edmstream.Split {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+
+	// Recommendation: a user read a smartwatch article; recommend the
+	// tags of the cluster whose cells are nearest to it.
+	visited := edmstream.NewTextPoint(edmstream.NewTokenSet("google", "smartwatch", "android", "wear", "launch"), snap.Time)
+	bestCluster, bestDist := -1, 2.0
+	for _, cl := range snap.Clusters {
+		for _, seed := range cl.SeedPoints {
+			if d := visited.Distance(seed); d < bestDist {
+				bestDist = d
+				bestCluster = cl.ID
+			}
+		}
+	}
+	if bestCluster >= 0 {
+		fmt.Printf("\nuser visited a smartwatch article -> recommend more from cluster %d %v (distance %.2f)\n",
+			bestCluster, tagsByCluster[bestCluster], bestDist)
+	} else {
+		fmt.Println("\nno cluster close enough to the visited article for a recommendation")
+	}
+	_ = topics
+}
+
+// topTags returns the most frequent tokens among a cluster's cell
+// seeds — the cluster's topic tags, as shown in Fig. 8.
+func topTags(cl edmstream.ClusterInfo, n int) []string {
+	counts := map[string]int{}
+	for _, seed := range cl.SeedPoints {
+		for tok := range seed.Tokens {
+			counts[tok]++
+		}
+	}
+	type tc struct {
+		tok string
+		n   int
+	}
+	var all []tc
+	for tok, cnt := range counts {
+		all = append(all, tc{tok, cnt})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].tok < all[j].tok
+	})
+	tags := make([]string, 0, n)
+	for i := 0; i < len(all) && i < n; i++ {
+		tags = append(tags, all[i].tok)
+	}
+	return tags
+}

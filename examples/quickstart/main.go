@@ -1,0 +1,72 @@
+// Quickstart: cluster a simple two-blob stream with EDMStream and print
+// the clusters, the decision graph and the evolution log.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	edmstream "github.com/densitymountain/edmstream"
+)
+
+func main() {
+	// Build the clusterer. Radius is the only required option: points
+	// within this distance of a cluster-cell's seed are summarized by
+	// that cell.
+	c, err := edmstream.New(edmstream.Options{
+		Radius:      0.8,
+		AdaptiveTau: true, // let the algorithm pick and re-tune τ
+		Rate:        1000, // expected arrival rate (points/second)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed a stream: two Gaussian blobs, one of which drifts away in
+	// the second half of the stream.
+	rng := rand.New(rand.NewSource(42))
+	const n = 8000
+	for i := 0; i < n; i++ {
+		t := float64(i) / 1000 // seconds
+		var x, y float64
+		if i%2 == 0 {
+			x, y = 0, 0
+		} else {
+			// The second blob drifts to the right over time.
+			x, y = 6+4*t/8, 0
+		}
+		p := edmstream.NewPoint([]float64{x + rng.NormFloat64()*0.5, y + rng.NormFloat64()*0.5}, t)
+		if err := c.Insert(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Query the clustering.
+	snap := c.Snapshot()
+	fmt.Printf("stream time %.1fs, τ = %.3g, %d clusters over %d active cells (%d outlier cells)\n",
+		snap.Time, snap.Tau, snap.NumClusters(), snap.ActiveCells, snap.OutlierCells)
+	for _, cl := range snap.Clusters {
+		fmt.Printf("  cluster %d: %d cells, weight %.1f\n", cl.ID, len(cl.CellIDs), cl.Weight)
+	}
+
+	// The decision graph is the (density, dependent distance) scatter
+	// the paper uses to pick τ: density peaks are the entries with
+	// anomalously large δ.
+	graph := c.DecisionGraph()
+	sort.Slice(graph, func(i, j int) bool { return graph[i].Delta > graph[j].Delta })
+	fmt.Println("top of the decision graph (ρ, δ):")
+	for i := 0; i < len(graph) && i < 5; i++ {
+		fmt.Printf("  cell %d: ρ=%.1f δ=%.3g\n", graph[i].CellID, graph[i].Rho, graph[i].Delta)
+	}
+
+	// The evolution log shows how clusters emerged, merged, split,
+	// adjusted or disappeared while the stream was processed.
+	fmt.Println("evolution log:")
+	for _, e := range c.Events() {
+		fmt.Printf("  %s\n", e)
+	}
+}

@@ -1,0 +1,142 @@
+package edmstream
+
+// Cross-algorithm integration tests: they exercise the public API
+// together with the internal batch algorithms to check that the
+// streaming clustering agrees with its batch ancestor on stationary
+// data, and that every stream algorithm in the repository produces a
+// label-consistent clustering on an easy workload.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/bench"
+	"github.com/densitymountain/edmstream/internal/dpclust"
+	"github.com/densitymountain/edmstream/internal/gen"
+	"github.com/densitymountain/edmstream/internal/metrics"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// stationaryBlobs builds a stream from k static, well separated blobs.
+func stationaryBlobs(k, n int, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for i := range centers {
+		centers[i] = []float64{float64(i) * 12, float64(i%2) * 12}
+	}
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		c := i % k
+		pts[i] = stream.Point{
+			ID:     int64(i),
+			Vector: []float64{centers[c][0] + rng.NormFloat64()*0.6, centers[c][1] + rng.NormFloat64()*0.6},
+			Label:  c,
+			Time:   float64(i) / 1000,
+		}
+	}
+	return pts
+}
+
+// TestStreamingMatchesBatchDPOnStationaryData checks that on a
+// stationary stream EDMStream finds the same cluster structure as the
+// batch Density Peaks algorithm it generalizes (Sec. 2): same number of
+// clusters, and the same grouping of the ground-truth classes.
+func TestStreamingMatchesBatchDPOnStationaryData(t *testing.T) {
+	const k = 3
+	pts := stationaryBlobs(k, 6000, 5)
+
+	// Streaming clustering.
+	c, err := New(Options{Radius: 1.0, Tau: 4, Rate: 1000, InitPoints: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := c.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.NumClusters() != k {
+		t.Fatalf("EDMStream found %d clusters, want %d", snap.NumClusters(), k)
+	}
+
+	// Batch DP clustering over a sample of the same data.
+	sample := pts[len(pts)-1500:]
+	batch, err := dpclust.Cluster(sample, dpclust.Config{CutoffDistance: 1.0, Tau: 4, Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.NumClusters() != k {
+		t.Fatalf("batch DP found %d clusters, want %d", batch.NumClusters(), k)
+	}
+
+	// Both clusterings must be label-consistent: every ground-truth
+	// class maps to exactly one cluster in each result.
+	streamAssign := stream.AssignToClusters(sample, snap.MacroClusters(), 0)
+	for name, assign := range map[string][]int{"EDMStream": streamAssign, "batch DP": batch.Assignment} {
+		classToCluster := map[int]map[int]int{}
+		for i, a := range assign {
+			if a < 0 {
+				continue
+			}
+			label := sample[i].Label
+			if classToCluster[label] == nil {
+				classToCluster[label] = map[int]int{}
+			}
+			classToCluster[label][a]++
+		}
+		for label, counts := range classToCluster {
+			best, total := 0, 0
+			for _, cnt := range counts {
+				total += cnt
+				if cnt > best {
+					best = cnt
+				}
+			}
+			if float64(best) < 0.95*float64(total) {
+				t.Errorf("%s: class %d is split across clusters: %v", name, label, counts)
+			}
+		}
+	}
+}
+
+// TestAllAlgorithmsClusterAnEasyStream runs every stream clustering
+// algorithm in the repository over the same well separated workload and
+// checks that each produces a clustering of reasonable quality (CMM),
+// which guards against any baseline silently degenerating.
+func TestAllAlgorithmsClusterAnEasyStream(t *testing.T) {
+	ds := gen.Dataset{
+		Name:            "easy-blobs",
+		Points:          stationaryBlobs(3, 5000, 9),
+		Dim:             2,
+		NumClasses:      3,
+		SuggestedRadius: 1.0,
+	}
+	algos, err := bench.Algorithms(ds, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := ds.Points[len(ds.Points)-1000:]
+	for _, a := range algos {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			for _, p := range ds.Points {
+				if err := a.Clusterer.Insert(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			clusters := a.Clusterer.Clusters(window[len(window)-1].Time)
+			if len(clusters) == 0 {
+				t.Fatal("no clusters reported")
+			}
+			assign := stream.AssignToClusters(window, clusters, 0)
+			cmm, err := metrics.CMM(window, assign, metrics.CMMConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmm < 0.8 {
+				t.Errorf("CMM = %.3f on an easy stream, want >= 0.8", cmm)
+			}
+		})
+	}
+}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/core"
+	"github.com/densitymountain/edmstream/internal/gen"
+)
+
+func TestAlgorithmsFactory(t *testing.T) {
+	ds, err := gen.SDS(gen.SDSConfig{N: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos, err := Algorithms(ds, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algos) != 5 {
+		t.Fatalf("expected 5 algorithms, got %d", len(algos))
+	}
+	names := map[string]bool{}
+	for _, a := range algos {
+		if a.Clusterer == nil {
+			t.Fatalf("%s has a nil clusterer", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"EDMStream", "D-Stream", "DenStream", "DBSTREAM", "MR-Stream"} {
+		if !names[want] {
+			t.Errorf("missing algorithm %s", want)
+		}
+	}
+}
+
+func TestRunStreamMeasurements(t *testing.T) {
+	ds, err := gen.SDS(gen.SDSConfig{N: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edm, err := NewEDMStream(ds.SuggestedRadius, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStream(edm, ds, RunConfig{Rate: 1000, QueryEvery: 500, ComputeCMM: true, WindowSize: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 3000 {
+		t.Errorf("Points = %d", res.Points)
+	}
+	if res.Algorithm != "EDMStream" || res.Dataset != "SDS" {
+		t.Errorf("labels wrong: %s / %s", res.Algorithm, res.Dataset)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for _, s := range res.Samples {
+		if s.Throughput <= 0 {
+			t.Errorf("sample at %d points has non-positive throughput", s.Points)
+		}
+		if s.CMM < 0 || s.CMM > 1 {
+			t.Errorf("sample CMM out of range: %v", s.CMM)
+		}
+	}
+	if res.MeanThroughput <= 0 || res.TotalWall <= 0 {
+		t.Errorf("aggregate measurements missing: %+v", res)
+	}
+	if res.MeanResponseTime <= 0 {
+		t.Errorf("mean response time missing")
+	}
+	if res.FinalClusters == 0 {
+		t.Errorf("no clusters at the end of the SDS prefix")
+	}
+	// MaxPoints truncation.
+	edm2, _ := NewEDMStream(ds.SuggestedRadius, 1000, false)
+	res2, err := RunStream(edm2, ds, RunConfig{Rate: 1000, MaxPoints: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Points != 1000 {
+		t.Errorf("MaxPoints not honored: %d", res2.Points)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	rows, err := RunTable2(Scale{Points: 400, Seed: 1, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("expected 7 dataset rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instances != 400 || r.Dim <= 0 || r.Clusters <= 0 || r.Radius <= 0 {
+			t.Errorf("malformed row: %+v", r)
+		}
+	}
+	text := FormatTable2(rows)
+	if !strings.Contains(text, "SDS") || !strings.Contains(text, "CoverType-like") {
+		t.Errorf("formatted table missing datasets:\n%s", text)
+	}
+}
+
+func TestRunFig6AndFig7(t *testing.T) {
+	s := Scale{Points: 6000, Seed: 2, Rate: 1000}
+	snaps, err := RunFig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 6 {
+		t.Fatalf("expected 6 snapshots, got %d", len(snaps))
+	}
+	if FormatFig6(snaps) == "" {
+		t.Error("empty Fig. 6 format")
+	}
+	events, scripted, err := RunFig7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripted) != 4 {
+		t.Errorf("scripted schedule has %d events", len(scripted))
+	}
+	if len(events) == 0 {
+		t.Error("no evolution events on SDS")
+	}
+	kinds := map[core.EventKind]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []core.EventKind{core.Merge, core.Split} {
+		if !kinds[k] {
+			t.Errorf("missing %v event in Fig. 7 run", k)
+		}
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	res, err := RunFig8(Scale{Points: 6000, Seed: 3, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalClusters) == 0 {
+		t.Fatal("no news clusters at the end of the stream")
+	}
+	for _, c := range res.FinalClusters {
+		if len(c.Tags) == 0 {
+			t.Errorf("cluster %d has no tags", c.ID)
+		}
+	}
+	if len(res.Scripted) != 4 {
+		t.Errorf("scripted news schedule has %d events", len(res.Scripted))
+	}
+}
+
+func TestRunComparisonSmall(t *testing.T) {
+	s := Scale{Points: 2500, Seed: 4, Rate: 1000}
+	results, err := RunComparison("kdd", s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("expected 5 results, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Points != s.Points {
+			t.Errorf("%s processed %d points", r.Algorithm, r.Points)
+		}
+	}
+	if FormatComparisonResponseTime("kdd", results) == "" ||
+		FormatComparisonThroughput("kdd", results) == "" ||
+		FormatComparisonCMM("kdd", results) == "" {
+		t.Error("empty formatted comparison output")
+	}
+}
+
+func TestRunFig11FiltersReduceWork(t *testing.T) {
+	s := Scale{Points: 4000, Seed: 5, Rate: 1000}
+	results, err := RunFig11("kdd", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("expected 3 filter modes, got %d", len(results))
+	}
+	byMode := map[core.FilterMode]FilterResult{}
+	for _, r := range results {
+		byMode[r.Mode] = r
+		if len(r.Samples) == 0 {
+			t.Errorf("mode %v has no samples", r.Mode)
+		}
+	}
+	wf := byMode[core.FilterNone]
+	df := byMode[core.FilterDensity]
+	all := byMode[core.FilterAll]
+	if wf.FilteredByDensity != 0 {
+		t.Error("wf mode should not filter")
+	}
+	if df.FilteredByDensity == 0 || all.FilteredByDensity == 0 {
+		t.Error("density filter never fired")
+	}
+	if all.FilteredByTriangle == 0 {
+		t.Error("triangle filter never fired")
+	}
+	if FormatFig11("kdd", results) == "" {
+		t.Error("empty Fig. 11 format")
+	}
+}
+
+func TestRunFig12SmallDims(t *testing.T) {
+	results, err := RunFig12([]int{10, 30}, Scale{Points: 1500, Seed: 6, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 dimension results, got %d", len(results))
+	}
+	if results[0].Dim != 10 || results[1].Dim != 30 {
+		t.Errorf("dimension labels wrong: %+v", results)
+	}
+	if FormatFig12(results) == "" {
+		t.Error("empty Fig. 12 format")
+	}
+}
+
+func TestRunFig14Rates(t *testing.T) {
+	results, err := RunFig14([]float64{1000, 5000}, Scale{Points: 2500, Seed: 7, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 rate results, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Result.MeanCMM < 0 || r.Result.MeanCMM > 1 {
+			t.Errorf("rate %v: CMM out of range %v", r.Rate, r.Result.MeanCMM)
+		}
+	}
+	if FormatFig14(results) == "" {
+		t.Error("empty Fig. 14 format")
+	}
+}
+
+func TestRunTable4DynamicVsStatic(t *testing.T) {
+	tc, err := RunTable4(Scale{Points: 8000, Seed: 8, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Seconds) == 0 {
+		t.Fatal("no per-second cluster counts")
+	}
+	if len(tc.DynamicClusters) != len(tc.Seconds) || len(tc.StaticClusters) != len(tc.Seconds) {
+		t.Fatal("ragged Table 4 output")
+	}
+	if tc.StaticTau <= 0 {
+		t.Errorf("static tau = %v", tc.StaticTau)
+	}
+	if len(tc.InitGraph) == 0 {
+		t.Error("missing init decision graph")
+	}
+	if FormatTable4(tc) == "" {
+		t.Error("empty Table 4 format")
+	}
+}
+
+func TestRunFig16ReservoirBounds(t *testing.T) {
+	results, err := RunFig16("covertype", []float64{1000, 5000}, Scale{Points: 4000, Seed: 9, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 rate series, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Bound <= 0 {
+			t.Errorf("rate %v: non-positive bound", r.Rate)
+		}
+		if float64(r.MaxSize) > r.Bound {
+			t.Errorf("rate %v: measured reservoir size %d exceeds bound %v", r.Rate, r.MaxSize, r.Bound)
+		}
+	}
+	if FormatFig16("covertype", results) == "" {
+		t.Error("empty Fig. 16 format")
+	}
+}
+
+func TestRunFig17RadiusSweep(t *testing.T) {
+	results, err := RunFig17(Scale{Points: 2500, Seed: 10, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no radius results")
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Radius < results[i-1].Radius {
+			t.Errorf("radius not increasing with quantile: %+v", results)
+		}
+	}
+	if FormatFig17(results) == "" {
+		t.Error("empty Fig. 17 format")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	results, err := RunAblation(Scale{Points: 2000, Seed: 11, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 5 {
+		t.Fatalf("expected at least 5 ablation rows, got %d", len(results))
+	}
+	if FormatAblation(results) == "" {
+		t.Error("empty ablation format")
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// dpTree holds the active cluster-cells and the dependency links
+// between them (Sec. 2.2). Each active cell points at its nearest
+// active cell with higher density; the cell with the globally highest
+// density is the root and has no dependency. Clusters are the maximal
+// strongly dependent subtrees obtained by cutting every link longer
+// than τ (Def. 2).
+type dpTree struct {
+	cells map[int64]*Cell
+	decay stream.Decay
+}
+
+func newDPTree(d stream.Decay) *dpTree {
+	return &dpTree{cells: make(map[int64]*Cell), decay: d}
+}
+
+// size returns the number of active cells.
+func (t *dpTree) size() int { return len(t.cells) }
+
+// insert adds a cell to the tree without wiring dependencies; callers
+// are responsible for calling computeDependency and retargetLower.
+func (t *dpTree) insert(c *Cell) {
+	c.active = true
+	t.cells[c.id] = c
+}
+
+// remove detaches the cell from the tree: it is unlinked from its
+// dependency, its children lose their dependency (the caller decides
+// what happens to them), and it is marked inactive.
+func (t *dpTree) remove(c *Cell) {
+	t.unlink(c)
+	for _, child := range c.children {
+		child.dep = nil
+		child.delta = math.Inf(1)
+	}
+	c.children = make(map[int64]*Cell)
+	c.active = false
+	delete(t.cells, c.id)
+}
+
+// link sets c's dependency to dep at distance delta, maintaining the
+// children index.
+func (t *dpTree) link(c, dep *Cell, delta float64) {
+	if c.dep == dep {
+		c.delta = delta
+		return
+	}
+	t.unlink(c)
+	c.dep = dep
+	c.delta = delta
+	if dep != nil {
+		dep.children[c.id] = c
+	}
+}
+
+// unlink clears c's dependency.
+func (t *dpTree) unlink(c *Cell) {
+	if c.dep != nil {
+		delete(c.dep.children, c.id)
+	}
+	c.dep = nil
+	c.delta = math.Inf(1)
+}
+
+// computeDependency finds c's nearest active cell with higher density
+// at time now and links it. If no active cell outranks c, c becomes a
+// root (no dependency).
+func (t *dpTree) computeDependency(c *Cell, now float64) {
+	var best *Cell
+	bestDist := math.Inf(1)
+	for _, o := range t.cells {
+		if o == c {
+			continue
+		}
+		if !higherRanked(o, c, now, t.decay) {
+			continue
+		}
+		d := c.distanceToCell(o)
+		if d < bestDist {
+			bestDist = d
+			best = o
+		}
+	}
+	if best == nil {
+		t.unlink(c)
+		return
+	}
+	t.link(c, best, bestDist)
+}
+
+// retargetLower checks every active cell ranked below c and relinks it
+// to c when c is closer than its current dependency. It is the
+// complement of computeDependency when a cell enters the tree or rises
+// in density: those lower-ranked cells gained exactly one member (c) in
+// their higher-density set, so their dependency either stays or becomes
+// c (Sec. 4.2).
+func (t *dpTree) retargetLower(c *Cell, now float64) {
+	for _, o := range t.cells {
+		if o == c {
+			continue
+		}
+		if higherRanked(o, c, now, t.decay) {
+			continue
+		}
+		d := o.distanceToCell(c)
+		if d < o.delta {
+			t.link(o, c, d)
+		}
+	}
+}
+
+// subtree returns c and every cell transitively depending on it.
+func (t *dpTree) subtree(c *Cell) []*Cell {
+	out := []*Cell{c}
+	for i := 0; i < len(out); i++ {
+		for _, child := range out[i].children {
+			out = append(out, child)
+		}
+	}
+	return out
+}
+
+// root returns the cell with the highest density (the cell without a
+// dependency). Returns nil for an empty tree.
+func (t *dpTree) root() *Cell {
+	for _, c := range t.cells {
+		if c.dep == nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// peakOf returns the root of the maximal strongly dependent subtree
+// containing c for threshold tau: the first ancestor reached by
+// following only strong links (δ ≤ τ).
+func (t *dpTree) peakOf(c *Cell, tau float64) *Cell {
+	cur := c
+	for cur.dep != nil && cur.delta <= tau {
+		cur = cur.dep
+	}
+	return cur
+}
+
+// msdSubtrees partitions the active cells into maximal strongly
+// dependent subtrees for the given τ, returning a map from peak cell to
+// its member cells (peak included).
+func (t *dpTree) msdSubtrees(tau float64) map[*Cell][]*Cell {
+	peaks := make(map[*Cell][]*Cell)
+	memo := make(map[int64]*Cell, len(t.cells))
+	var findPeak func(c *Cell) *Cell
+	findPeak = func(c *Cell) *Cell {
+		if p, ok := memo[c.id]; ok {
+			return p
+		}
+		var p *Cell
+		if c.dep == nil || c.delta > tau {
+			p = c
+		} else {
+			p = findPeak(c.dep)
+		}
+		memo[c.id] = p
+		return p
+	}
+	for _, c := range t.cells {
+		p := findPeak(c)
+		peaks[p] = append(peaks[p], c)
+	}
+	return peaks
+}
+
+// checkInvariants verifies the structural invariants of the DP-Tree at
+// time now. It is used by tests and returns the first violation found
+// (empty string when the tree is consistent).
+func (t *dpTree) checkInvariants(now float64) string {
+	roots := 0
+	for _, c := range t.cells {
+		if !c.active {
+			return "inactive cell present in DP-Tree"
+		}
+		if c.dep == nil {
+			roots++
+			if !math.IsInf(c.delta, 1) {
+				return "root cell has a finite dependent distance"
+			}
+			continue
+		}
+		if _, ok := t.cells[c.dep.id]; !ok {
+			return "cell depends on a cell outside the DP-Tree"
+		}
+		if !higherRanked(c.dep, c, now, t.decay) {
+			return "cell depends on a cell that does not outrank it"
+		}
+		if c.dep.children[c.id] != c {
+			return "dependency's children index is missing the cell"
+		}
+		if c.delta < 0 || math.IsNaN(c.delta) {
+			return "negative or NaN dependent distance"
+		}
+	}
+	if len(t.cells) > 0 && roots != 1 {
+		return "DP-Tree does not have exactly one root"
+	}
+	// Acyclicity: walking up from any cell must terminate.
+	for _, c := range t.cells {
+		seen := map[int64]bool{}
+		for cur := c; cur != nil; cur = cur.dep {
+			if seen[cur.id] {
+				return "dependency cycle detected"
+			}
+			seen[cur.id] = true
+		}
+	}
+	return ""
+}

@@ -1,0 +1,538 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// EDMStream is the density-mountain stream clustering algorithm of
+// Sec. 4. It consumes a timestamped point stream through Insert and can
+// be queried at any time for the current clustering (Snapshot), the
+// decision graph (DecisionGraph) and the cluster evolution log
+// (Events). EDMStream is not safe for concurrent use; wrap it in a
+// mutex if multiple goroutines insert points.
+type EDMStream struct {
+	cfg Config
+
+	tree *dpTree
+	res  *reservoir
+	// cells indexes every cluster-cell (active and inactive) by ID;
+	// cellList holds the same cells in a slice for cache-friendly
+	// iteration on the per-point hot path (nearest-seed search and
+	// dependency updates).
+	cells    map[int64]*Cell
+	cellList []*Cell
+
+	nextCellID int64
+	now        float64
+
+	tuner   tauTuner
+	tracker *evolutionTracker
+
+	initialized   bool
+	lastSweep     float64
+	lastEvolution float64
+	lastSnapshot  Snapshot
+
+	stats Stats
+}
+
+// New creates an EDMStream instance with the given configuration.
+func New(cfg Config) (*EDMStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &EDMStream{
+		cfg:     cfg,
+		tree:    newDPTree(cfg.Decay),
+		res:     newReservoir(),
+		cells:   make(map[int64]*Cell),
+		tracker: newEvolutionTracker(cfg.MaxEvents),
+	}, nil
+}
+
+// addCell registers a newly created cell in the ID index and the
+// iteration list.
+func (e *EDMStream) addCell(c *Cell) {
+	c.listIdx = len(e.cellList)
+	e.cellList = append(e.cellList, c)
+	e.cells[c.id] = c
+}
+
+// removeCell unregisters a deleted cell (O(1) swap-remove).
+func (e *EDMStream) removeCell(c *Cell) {
+	last := len(e.cellList) - 1
+	e.cellList[c.listIdx] = e.cellList[last]
+	e.cellList[c.listIdx].listIdx = c.listIdx
+	e.cellList = e.cellList[:last]
+	delete(e.cells, c.id)
+}
+
+// Name implements stream.Clusterer.
+func (e *EDMStream) Name() string { return "EDMStream" }
+
+// Config returns the effective configuration (defaults applied).
+func (e *EDMStream) Config() Config { return e.cfg }
+
+// Now returns the latest stream time observed.
+func (e *EDMStream) Now() float64 { return e.now }
+
+// Stats returns a copy of the internal counters.
+func (e *EDMStream) Stats() Stats {
+	s := e.stats
+	s.ActiveCells = e.tree.size()
+	s.InactiveCells = e.res.size()
+	s.EvolutionEvents = int64(len(e.tracker.log()))
+	return s
+}
+
+// Tau returns the cluster-separation threshold currently in effect.
+func (e *EDMStream) Tau() float64 { return e.tuner.tau }
+
+// Alpha returns the balance parameter of the adaptive τ objective
+// (meaningful after initialization when AdaptiveTau is enabled).
+func (e *EDMStream) Alpha() float64 { return e.tuner.alpha }
+
+// activeThreshold returns the density above which a cell is active.
+func (e *EDMStream) activeThreshold() float64 {
+	return e.cfg.Decay.ActiveThreshold(e.cfg.Beta, e.cfg.Rate)
+}
+
+// ReservoirBound returns the theoretical upper bound on the outlier
+// reservoir size for the configured parameters (Sec. 4.4), used by the
+// Fig. 16 experiment.
+func (e *EDMStream) ReservoirBound() float64 {
+	return e.cfg.DeleteDelay*e.cfg.Rate + 1/e.cfg.Beta
+}
+
+// Insert consumes one stream point. Implements stream.Clusterer.
+func (e *EDMStream) Insert(p stream.Point) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Time > e.now {
+		e.now = p.Time
+	}
+	now := e.now
+	e.stats.Points++
+
+	start := time.Now()
+	cell, dist := e.nearestSeed(p)
+	e.stats.AssignTime += time.Since(start)
+
+	switch {
+	case cell == nil || dist > e.cfg.Radius:
+		// No cell can absorb the point: it seeds a new cluster-cell,
+		// cached in the outlier reservoir because of its low density.
+		c := newCell(e.nextCellID, p)
+		c.seed.Time = now
+		c.lastAbsorb = now
+		c.rhoTime = now
+		e.nextCellID++
+		e.addCell(c)
+		e.res.add(c)
+		e.stats.CellsCreated++
+		if e.initialized {
+			e.maybePromote(c, now)
+		}
+	default:
+		rhoBefore := cell.Density(now, e.cfg.Decay)
+		cell.absorb(now, e.cfg.Decay)
+		if !e.initialized {
+			break
+		}
+		if cell.active {
+			t0 := time.Now()
+			e.updateDependenciesAfterAbsorb(cell, rhoBefore, now)
+			e.stats.DependencyUpdateTime += time.Since(t0)
+		} else {
+			e.maybePromote(cell, now)
+		}
+	}
+
+	if !e.initialized {
+		if e.stats.Points >= int64(e.cfg.InitPoints) {
+			e.finalizeInit(now)
+		}
+		return nil
+	}
+
+	if now-e.lastSweep >= e.cfg.SweepInterval {
+		e.sweep(now)
+		e.lastSweep = now
+	}
+	if e.cfg.EvolutionInterval > 0 && now-e.lastEvolution >= e.cfg.EvolutionInterval {
+		e.refreshClustering(now)
+		e.lastEvolution = now
+	}
+	return nil
+}
+
+// nearestSeed returns the cell whose seed is closest to p, together
+// with the distance. The per-cell distances measured during the scan
+// are stamped onto the cells so the triangle-inequality filter can
+// reuse them at no extra cost.
+func (e *EDMStream) nearestSeed(p stream.Point) (*Cell, float64) {
+	stamp := e.stats.Points
+	var best *Cell
+	bestDist := math.Inf(1)
+	for _, c := range e.cellList {
+		d := c.distanceToPoint(p)
+		c.lastDist = d
+		c.lastDistStamp = stamp
+		if d < bestDist || (d == bestDist && best != nil && c.id < best.id) {
+			bestDist = d
+			best = c
+		}
+	}
+	return best, bestDist
+}
+
+// updateDependenciesAfterAbsorb restores the DP-Tree invariants after
+// cell c absorbed a point at time now, applying the density filter
+// (Theorem 1) and the triangle-inequality filter (Theorem 2) to skip
+// cells whose dependency cannot have changed.
+func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, now float64) {
+	rhoAfter := c.Density(now, e.cfg.Decay)
+	stamp := e.stats.Points
+	distToC := c.lastDist
+	haveDistToC := c.lastDistStamp == stamp
+
+	for _, o := range e.cellList {
+		if o == c || !o.active {
+			continue
+		}
+		e.stats.DependencyCandidates++
+		rhoO := o.Density(now, e.cfg.Decay)
+
+		if e.cfg.Filters&FilterDensity != 0 {
+			// Theorem 1: if c already outranked o before the
+			// absorption, or still does not outrank it afterwards, o's
+			// higher-density set is unchanged and its dependency cannot
+			// move.
+			if rhoO < rhoBefore || rhoO >= rhoAfter {
+				e.stats.FilteredByDensity++
+				continue
+			}
+		}
+		if e.cfg.Filters&FilterTriangle != 0 && haveDistToC && o.lastDistStamp == stamp {
+			// Theorem 2: ||p,s_o| − |p,s_c|| is a lower bound on
+			// |s_o,s_c|; if it already exceeds o's dependent distance,
+			// c cannot become o's new dependency.
+			if math.Abs(o.lastDist-distToC) > o.delta {
+				e.stats.FilteredByTriangle++
+				continue
+			}
+		}
+		if !higherRanked(c, o, now, e.cfg.Decay) {
+			continue
+		}
+		d := o.distanceToCell(c)
+		if d < o.delta {
+			e.tree.link(o, c, d)
+			e.stats.DependencyRelinks++
+		}
+	}
+
+	// c's own dependency: its higher-density set can only have shrunk.
+	// If the previous dependency still outranks c it remains the
+	// nearest higher-density cell; otherwise recompute from scratch.
+	if c.dep == nil || !higherRanked(c.dep, c, now, e.cfg.Decay) {
+		e.tree.computeDependency(c, now)
+	}
+}
+
+// maybePromote moves an inactive cell into the DP-Tree once its timely
+// density reaches the active threshold (cluster-cell emergence,
+// Sec. 4.3).
+func (e *EDMStream) maybePromote(c *Cell, now float64) {
+	if c.active || c.Density(now, e.cfg.Decay) < e.activeThreshold() {
+		return
+	}
+	t0 := time.Now()
+	e.res.remove(c)
+	e.tree.insert(c)
+	e.tree.computeDependency(c, now)
+	e.tree.retargetLower(c, now)
+	e.stats.Promotions++
+	e.stats.DependencyUpdateTime += time.Since(t0)
+}
+
+// sweep performs periodic maintenance: active cells whose density
+// decayed below the threshold are moved (with their whole subtree) to
+// the outlier reservoir (cluster-cell decay, Sec. 4.3), and inactive
+// cells that have not absorbed points for ΔTdel are deleted
+// (memory recycling, Sec. 4.4).
+func (e *EDMStream) sweep(now float64) {
+	threshold := e.activeThreshold()
+
+	// Because every cell's dependency outranks it, any cell below the
+	// threshold can be demoted without leaving dangling dependencies:
+	// all its successors are below the threshold too.
+	var demote []*Cell
+	for _, c := range e.tree.cells {
+		if c.Density(now, e.cfg.Decay) < threshold {
+			demote = append(demote, c)
+		}
+	}
+	for _, c := range demote {
+		e.tree.remove(c)
+		e.res.add(c)
+		e.stats.Demotions++
+	}
+	// Demotions may leave cells whose dependency was demoted; their
+	// dep pointers were cleared by remove, so recompute them.
+	if len(demote) > 0 {
+		for _, c := range e.tree.cells {
+			if c.dep == nil {
+				e.tree.computeDependency(c, now)
+			}
+		}
+	}
+
+	for _, c := range e.res.expire(now, e.cfg.DeleteDelay) {
+		e.removeCell(c)
+		e.stats.Deletions++
+	}
+	// Re-anchor stored densities so rhoTime never lags far behind.
+	for _, c := range e.cells {
+		c.settle(now, e.cfg.Decay)
+	}
+}
+
+// finalizeInit ends the initialization phase (Sec. 4.1): dependencies
+// of all cached cells are computed to draw the decision graph, τ⁰ is
+// chosen (by the configured selector or the static Tau), α is fitted,
+// qualifying cells enter the DP-Tree and the first clustering snapshot
+// is taken.
+func (e *EDMStream) finalizeInit(now float64) {
+	graph, deltas := e.initialDecisionGraph(now)
+
+	tau0 := e.cfg.Tau
+	if tau0 <= 0 {
+		tau0 = e.cfg.TauSelector(graph)
+	}
+	if tau0 <= 0 {
+		// Degenerate selector output: fall back to three times the mean
+		// finite dependent distance, which separates only clearly
+		// isolated mountains.
+		var sum float64
+		var n int
+		for _, d := range deltas {
+			sum += d
+			n++
+		}
+		if n > 0 {
+			tau0 = 3 * sum / float64(n)
+		} else {
+			tau0 = e.cfg.Radius * 4
+		}
+	}
+	e.tuner.initialize(tau0, e.cfg.Alpha, deltas)
+
+	// Cells that already meet the density threshold enter the DP-Tree.
+	threshold := e.activeThreshold()
+	for _, c := range e.cells {
+		if c.Density(now, e.cfg.Decay) >= threshold {
+			e.res.remove(c)
+			e.tree.insert(c)
+		}
+	}
+	for _, c := range e.tree.cells {
+		e.tree.computeDependency(c, now)
+	}
+
+	e.initialized = true
+	e.lastSweep = now
+	e.lastEvolution = now
+	e.refreshClustering(now)
+}
+
+// initialDecisionGraph computes (ρ, δ) for every cached cell against
+// all other cached cells, which is the decision graph shown to the
+// user (or to the TauSelector heuristic) at initialization time.
+func (e *EDMStream) initialDecisionGraph(now float64) ([]DecisionPoint, []float64) {
+	cells := make([]*Cell, 0, len(e.cells))
+	for _, c := range e.cells {
+		cells = append(cells, c)
+	}
+	graph := make([]DecisionPoint, 0, len(cells))
+	var deltas []float64
+	for _, c := range cells {
+		best := math.Inf(1)
+		for _, o := range cells {
+			if o == c || !higherRanked(o, c, now, e.cfg.Decay) {
+				continue
+			}
+			if d := c.distanceToCell(o); d < best {
+				best = d
+			}
+		}
+		graph = append(graph, DecisionPoint{CellID: c.id, Rho: c.Density(now, e.cfg.Decay), Delta: best})
+		if !math.IsInf(best, 1) {
+			deltas = append(deltas, best)
+		}
+	}
+	return graph, deltas
+}
+
+// DecisionGraph returns the current decision graph: the (ρ, δ) pair of
+// every active cell (Fig. 15). Before initialization it is computed
+// over all cached cells.
+func (e *EDMStream) DecisionGraph() []DecisionPoint {
+	now := e.now
+	if !e.initialized {
+		graph, _ := e.initialDecisionGraph(now)
+		return graph
+	}
+	graph := make([]DecisionPoint, 0, e.tree.size())
+	for _, c := range e.tree.cells {
+		graph = append(graph, DecisionPoint{CellID: c.id, Rho: c.Density(now, e.cfg.Decay), Delta: c.delta})
+	}
+	return graph
+}
+
+// refreshClustering recomputes τ (if adaptive), extracts the
+// MSDSubTrees, lets the evolution tracker diff them against the
+// previous partition and stores the resulting snapshot.
+func (e *EDMStream) refreshClustering(now float64) {
+	e.sweep(now)
+	e.lastSweep = now
+
+	if e.cfg.AdaptiveTau {
+		deltas := make([]float64, 0, e.tree.size())
+		for _, c := range e.tree.cells {
+			deltas = append(deltas, c.delta)
+		}
+		e.tuner.retune(deltas)
+	}
+	tau := e.tuner.tau
+
+	subtrees := e.tree.msdSubtrees(tau)
+	peaks := make([]*Cell, 0, len(subtrees))
+	partition := make([]map[int64]bool, 0, len(subtrees))
+	members := make([][]*Cell, 0, len(subtrees))
+	for peak, cells := range subtrees {
+		peaks = append(peaks, peak)
+		set := make(map[int64]bool, len(cells))
+		for _, c := range cells {
+			set[c.id] = true
+		}
+		partition = append(partition, set)
+		members = append(members, cells)
+	}
+	// Deterministic order (by peak cell id) before the tracker assigns IDs.
+	order := make([]int, len(peaks))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if peaks[order[j]].id < peaks[order[i]].id {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	ordered := make([]map[int64]bool, len(order))
+	for i, idx := range order {
+		ordered[i] = partition[idx]
+	}
+	ids := e.tracker.observe(now, ordered)
+
+	clusters := make([]ClusterInfo, 0, len(order))
+	for i, idx := range order {
+		peak := peaks[idx]
+		info := ClusterInfo{
+			ID:          ids[i],
+			PeakCellID:  peak.id,
+			PeakDensity: peak.Density(now, e.cfg.Decay),
+		}
+		for _, c := range members[idx] {
+			info.CellIDs = append(info.CellIDs, c.id)
+			// Clone the seed so callers can hold or mutate the snapshot
+			// without aliasing the cell's internal state.
+			info.SeedPoints = append(info.SeedPoints, c.seed.Clone())
+			info.Weight += c.Density(now, e.cfg.Decay)
+			info.Points += c.count
+		}
+		clusters = append(clusters, info)
+	}
+	sortClusterInfo(clusters)
+
+	e.lastSnapshot = Snapshot{
+		Time:         now,
+		Tau:          tau,
+		Clusters:     clusters,
+		OutlierCells: e.res.size(),
+		ActiveCells:  e.tree.size(),
+	}
+}
+
+// Snapshot refreshes and returns the current clustering. It forces
+// initialization if the stream is still in its init phase.
+func (e *EDMStream) Snapshot() Snapshot {
+	if !e.initialized {
+		e.finalizeInit(e.now)
+	} else {
+		e.refreshClustering(e.now)
+		e.lastEvolution = e.now
+	}
+	return e.lastSnapshot
+}
+
+// LastSnapshot returns the most recent snapshot without recomputing the
+// clustering.
+func (e *EDMStream) LastSnapshot() Snapshot { return e.lastSnapshot }
+
+// Clusters implements stream.Clusterer: it refreshes the clustering at
+// time now and reports the macro-clusters.
+func (e *EDMStream) Clusters(now float64) []stream.MacroCluster {
+	if now > e.now {
+		e.now = now
+	}
+	return e.Snapshot().MacroClusters()
+}
+
+// Events returns the cluster evolution log recorded so far.
+func (e *EDMStream) Events() []Event {
+	return append([]Event(nil), e.tracker.log()...)
+}
+
+// CheckInvariants validates the DP-Tree invariants; it returns an error
+// describing the first violation, or nil. It exists for tests and
+// debugging.
+func (e *EDMStream) CheckInvariants() error {
+	if msg := e.tree.checkInvariants(e.now); msg != "" {
+		return fmt.Errorf("core: invariant violation: %s", msg)
+	}
+	for id, c := range e.cells {
+		if c.id != id {
+			return fmt.Errorf("core: cell map key %d does not match cell id %d", id, c.id)
+		}
+		if c.active {
+			if _, ok := e.tree.cells[id]; !ok {
+				return fmt.Errorf("core: active cell %d missing from DP-Tree", id)
+			}
+		} else {
+			if _, ok := e.res.cells[id]; !ok {
+				return fmt.Errorf("core: inactive cell %d missing from reservoir", id)
+			}
+		}
+	}
+	if e.tree.size()+e.res.size() != len(e.cells) {
+		return fmt.Errorf("core: tree (%d) + reservoir (%d) != total cells (%d)", e.tree.size(), e.res.size(), len(e.cells))
+	}
+	if len(e.cellList) != len(e.cells) {
+		return fmt.Errorf("core: cell list length %d != cell index size %d", len(e.cellList), len(e.cells))
+	}
+	for i, c := range e.cellList {
+		if c.listIdx != i {
+			return fmt.Errorf("core: cell %d has list index %d, stored at %d", c.id, c.listIdx, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind is one of the five cluster evolution activities of Table 1.
+type EventKind string
+
+// Cluster evolution activities.
+const (
+	// Emerge: a new cluster is born (∅ → C).
+	Emerge EventKind = "emerge"
+	// Disappear: an existing cluster dies (C → ∅).
+	Disappear EventKind = "disappear"
+	// Split: one cluster splits into two or more clusters.
+	Split EventKind = "split"
+	// Merge: two or more clusters merge into one.
+	Merge EventKind = "merge"
+	// Adjust: cells move between clusters, from outliers into a
+	// cluster, or from a cluster to the outliers, without changing the
+	// number of clusters.
+	Adjust EventKind = "adjust"
+)
+
+// Event records one cluster evolution activity.
+type Event struct {
+	// Kind is the evolution type.
+	Kind EventKind
+	// Time is the stream time at which the activity was detected.
+	Time float64
+	// Sources are the cluster IDs the activity consumed (the split
+	// cluster, the merged clusters, the disappeared cluster).
+	Sources []int
+	// Targets are the cluster IDs the activity produced (the split
+	// products, the merge result, the emerged cluster). Adjust events
+	// list the affected cluster in both Sources and Targets.
+	Targets []int
+}
+
+// String renders the event in the compact form used by the example
+// programs and cmd/edmbench.
+func (e Event) String() string {
+	switch e.Kind {
+	case Emerge:
+		return fmt.Sprintf("t=%.2fs emerge cluster %v", e.Time, e.Targets)
+	case Disappear:
+		return fmt.Sprintf("t=%.2fs disappear cluster %v", e.Time, e.Sources)
+	case Split:
+		return fmt.Sprintf("t=%.2fs split cluster %v -> %v", e.Time, e.Sources, e.Targets)
+	case Merge:
+		return fmt.Sprintf("t=%.2fs merge clusters %v -> %v", e.Time, e.Sources, e.Targets)
+	default:
+		return fmt.Sprintf("t=%.2fs adjust cluster %v", e.Time, e.Targets)
+	}
+}
+
+// evolutionTracker derives cluster evolution events by diffing
+// consecutive cluster-membership snapshots (each snapshot maps a
+// cluster ID to the set of cluster-cell IDs it contains), which is how
+// the DP-Tree's structural updates surface to the caller (Sec. 3.3).
+// It also owns the assignment of stable cluster IDs: a cluster keeps
+// its ID across snapshots as long as it is the best continuation of a
+// previous cluster.
+type evolutionTracker struct {
+	nextClusterID int
+	// prev maps cluster ID -> member cell IDs of the previous snapshot.
+	prev map[int]map[int64]bool
+	// events is the append-only evolution log.
+	events    []Event
+	maxEvents int
+}
+
+func newEvolutionTracker(maxEvents int) *evolutionTracker {
+	return &evolutionTracker{nextClusterID: 1, prev: map[int]map[int64]bool{}, maxEvents: maxEvents}
+}
+
+// observe ingests the current partition (a list of cell-ID sets, one
+// per MSDSubTree, in any order) at the given time. It returns the
+// cluster IDs assigned to each input set, in the same order, and
+// appends any detected evolution events to the log.
+func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []int {
+	ids := make([]int, len(partition))
+
+	// Overlap between every current cluster and every previous cluster.
+	type match struct {
+		cur, prevID, overlap int
+	}
+	var matches []match
+	for i, cur := range partition {
+		for prevID, prevSet := range t.prev {
+			ov := 0
+			for cell := range cur {
+				if prevSet[cell] {
+					ov++
+				}
+			}
+			if ov > 0 {
+				matches = append(matches, match{cur: i, prevID: prevID, overlap: ov})
+			}
+		}
+	}
+	// Greedy best-overlap matching: the largest overlaps claim identity
+	// continuation first. Ties break deterministically.
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].overlap != matches[b].overlap {
+			return matches[a].overlap > matches[b].overlap
+		}
+		if matches[a].prevID != matches[b].prevID {
+			return matches[a].prevID < matches[b].prevID
+		}
+		return matches[a].cur < matches[b].cur
+	})
+	curClaimed := make(map[int]bool)  // current index -> has an ID
+	prevClaimed := make(map[int]bool) // previous ID -> continued
+	// curOverlaps[i] lists the previous clusters overlapping current i;
+	// prevOverlaps[p] lists the current clusters overlapping previous p.
+	curOverlaps := make(map[int][]int)
+	prevOverlaps := make(map[int][]int)
+	for _, m := range matches {
+		curOverlaps[m.cur] = append(curOverlaps[m.cur], m.prevID)
+		prevOverlaps[m.prevID] = append(prevOverlaps[m.prevID], m.cur)
+	}
+	for _, m := range matches {
+		if curClaimed[m.cur] || prevClaimed[m.prevID] {
+			continue
+		}
+		ids[m.cur] = m.prevID
+		curClaimed[m.cur] = true
+		prevClaimed[m.prevID] = true
+	}
+
+	var events []Event
+
+	// Unclaimed current clusters are either split products (they
+	// overlap a previous cluster that continued elsewhere) or emerged
+	// clusters (no overlap with the past).
+	splitProducts := map[int][]int{} // previous ID -> new cluster IDs split from it
+	for i := range partition {
+		if curClaimed[i] {
+			continue
+		}
+		id := t.nextClusterID
+		t.nextClusterID++
+		ids[i] = id
+		if prevs := curOverlaps[i]; len(prevs) > 0 {
+			src := prevs[0]
+			splitProducts[src] = append(splitProducts[src], id)
+		} else {
+			events = append(events, Event{Kind: Emerge, Time: now, Targets: []int{id}})
+		}
+	}
+	for src, products := range splitProducts {
+		// The continuation of src (if any) is also a product of the split.
+		targets := append([]int(nil), products...)
+		if prevClaimed[src] {
+			targets = append([]int{src}, targets...)
+		}
+		sort.Ints(targets)
+		events = append(events, Event{Kind: Split, Time: now, Sources: []int{src}, Targets: targets})
+	}
+
+	// Unclaimed previous clusters either merged into a current cluster
+	// (they overlap one) or disappeared.
+	mergedInto := map[int][]int{} // current cluster ID -> previous IDs absorbed
+	for prevID := range t.prev {
+		if prevClaimed[prevID] {
+			continue
+		}
+		if curs := prevOverlaps[prevID]; len(curs) > 0 {
+			target := ids[curs[0]]
+			mergedInto[target] = append(mergedInto[target], prevID)
+		} else {
+			events = append(events, Event{Kind: Disappear, Time: now, Sources: []int{prevID}})
+		}
+	}
+	for target, absorbed := range mergedInto {
+		sources := append(absorbed, target)
+		sort.Ints(sources)
+		events = append(events, Event{Kind: Merge, Time: now, Sources: sources, Targets: []int{target}})
+	}
+
+	// Continuing clusters whose membership changed (and which were not
+	// already reported as split sources or merge targets) are adjust
+	// events.
+	reported := map[int]bool{}
+	for _, e := range events {
+		for _, id := range e.Sources {
+			reported[id] = true
+		}
+		for _, id := range e.Targets {
+			reported[id] = true
+		}
+	}
+	for i, cur := range partition {
+		id := ids[i]
+		if !curClaimed[i] || reported[id] {
+			continue
+		}
+		prevSet := t.prev[id]
+		if !sameCellSet(cur, prevSet) {
+			events = append(events, Event{Kind: Adjust, Time: now, Sources: []int{id}, Targets: []int{id}})
+		}
+	}
+
+	// Deterministic event order within the snapshot diff.
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].Kind != events[b].Kind {
+			return events[a].Kind < events[b].Kind
+		}
+		return fmt.Sprint(events[a].Sources, events[a].Targets) < fmt.Sprint(events[b].Sources, events[b].Targets)
+	})
+	t.events = append(t.events, events...)
+	if t.maxEvents > 0 && len(t.events) > t.maxEvents {
+		t.events = t.events[len(t.events)-t.maxEvents:]
+	}
+
+	// Store the new snapshot for the next diff.
+	next := make(map[int]map[int64]bool, len(partition))
+	for i, cur := range partition {
+		next[ids[i]] = cur
+	}
+	t.prev = next
+	return ids
+}
+
+func sameCellSet(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// log returns the recorded events.
+func (t *evolutionTracker) log() []Event { return t.events }

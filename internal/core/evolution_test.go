@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+)
+
+func cellSet(ids ...int64) map[int64]bool {
+	s := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+func eventsOfKind(events []Event, kind EventKind) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestEvolutionEmergeAndContinuity(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2, 3)})
+	if len(ids) != 1 {
+		t.Fatalf("expected one cluster ID, got %v", ids)
+	}
+	first := ids[0]
+	if got := eventsOfKind(tr.log(), Emerge); len(got) != 1 {
+		t.Fatalf("expected one emerge event, got %v", tr.log())
+	}
+	// The same cluster (same cells, slightly changed) keeps its ID and
+	// produces no new emerge event.
+	ids = tr.observe(2, []map[int64]bool{cellSet(1, 2, 3, 4)})
+	if ids[0] != first {
+		t.Errorf("cluster lost its identity: %d -> %d", first, ids[0])
+	}
+	if got := eventsOfKind(tr.log(), Emerge); len(got) != 1 {
+		t.Errorf("continuing cluster should not emerge again: %v", tr.log())
+	}
+	// Membership changed, so an adjust event is recorded.
+	if got := eventsOfKind(tr.log(), Adjust); len(got) != 1 {
+		t.Errorf("expected one adjust event, got %v", tr.log())
+	}
+}
+
+func TestEvolutionSecondClusterEmerges(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	tr.observe(1, []map[int64]bool{cellSet(1, 2)})
+	ids := tr.observe(2, []map[int64]bool{cellSet(1, 2), cellSet(10, 11)})
+	if ids[0] == ids[1] {
+		t.Fatalf("distinct clusters must get distinct IDs: %v", ids)
+	}
+	if got := eventsOfKind(tr.log(), Emerge); len(got) != 2 {
+		t.Errorf("expected two emerge events in total, got %v", tr.log())
+	}
+}
+
+func TestEvolutionDisappear(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2), cellSet(10, 11)})
+	tr.observe(2, []map[int64]bool{cellSet(1, 2)})
+	dis := eventsOfKind(tr.log(), Disappear)
+	if len(dis) != 1 {
+		t.Fatalf("expected one disappear event, got %v", tr.log())
+	}
+	if len(dis[0].Sources) != 1 || (dis[0].Sources[0] != ids[0] && dis[0].Sources[0] != ids[1]) {
+		t.Errorf("disappear event references wrong cluster: %v", dis[0])
+	}
+}
+
+func TestEvolutionSplit(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2, 3, 4, 5, 6)})
+	orig := ids[0]
+	ids = tr.observe(2, []map[int64]bool{cellSet(1, 2, 3), cellSet(4, 5, 6)})
+	splits := eventsOfKind(tr.log(), Split)
+	if len(splits) != 1 {
+		t.Fatalf("expected one split event, got %v", tr.log())
+	}
+	if splits[0].Sources[0] != orig {
+		t.Errorf("split source = %v, want %d", splits[0].Sources, orig)
+	}
+	if len(splits[0].Targets) != 2 {
+		t.Errorf("split targets = %v, want two clusters", splits[0].Targets)
+	}
+	// One of the products keeps the original identity (the best
+	// continuation), the other gets a fresh ID.
+	if !(ids[0] == orig || ids[1] == orig) {
+		t.Errorf("no split product inherited the original ID: %v", ids)
+	}
+	if ids[0] == ids[1] {
+		t.Errorf("split products share an ID: %v", ids)
+	}
+}
+
+func TestEvolutionMerge(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2, 3), cellSet(10, 11)})
+	a, b := ids[0], ids[1]
+	merged := tr.observe(2, []map[int64]bool{cellSet(1, 2, 3, 10, 11)})
+	merges := eventsOfKind(tr.log(), Merge)
+	if len(merges) != 1 {
+		t.Fatalf("expected one merge event, got %v", tr.log())
+	}
+	m := merges[0]
+	if len(m.Sources) != 2 {
+		t.Fatalf("merge sources = %v, want both original clusters", m.Sources)
+	}
+	found := map[int]bool{}
+	for _, s := range m.Sources {
+		found[s] = true
+	}
+	if !found[a] || !found[b] {
+		t.Errorf("merge sources %v do not include both %d and %d", m.Sources, a, b)
+	}
+	if len(m.Targets) != 1 || m.Targets[0] != merged[0] {
+		t.Errorf("merge target %v, want %v", m.Targets, merged)
+	}
+	// The merged cluster keeps the identity of the larger constituent.
+	if merged[0] != a {
+		t.Errorf("merged cluster ID = %d, want the ID of the larger source %d", merged[0], a)
+	}
+}
+
+func TestEvolutionSplitThreeWays(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	tr.observe(1, []map[int64]bool{cellSet(1, 2, 3, 4, 5, 6, 7, 8, 9)})
+	tr.observe(2, []map[int64]bool{cellSet(1, 2, 3), cellSet(4, 5, 6), cellSet(7, 8, 9)})
+	splits := eventsOfKind(tr.log(), Split)
+	if len(splits) != 1 {
+		t.Fatalf("expected one split event, got %v", tr.log())
+	}
+	if len(splits[0].Targets) != 3 {
+		t.Errorf("three-way split targets = %v", splits[0].Targets)
+	}
+}
+
+func TestEvolutionNoChangeNoEvents(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	tr.observe(1, []map[int64]bool{cellSet(1, 2), cellSet(5, 6)})
+	before := len(tr.log())
+	tr.observe(2, []map[int64]bool{cellSet(1, 2), cellSet(5, 6)})
+	if len(tr.log()) != before {
+		t.Errorf("identical partitions should produce no events, got %v", tr.log()[before:])
+	}
+}
+
+func TestEvolutionEmptyPartitions(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	if ids := tr.observe(1, nil); len(ids) != 0 {
+		t.Errorf("empty partition should yield no IDs, got %v", ids)
+	}
+	tr.observe(2, []map[int64]bool{cellSet(1)})
+	tr.observe(3, nil)
+	if got := eventsOfKind(tr.log(), Disappear); len(got) != 1 {
+		t.Errorf("cluster vanishing into an empty partition should disappear: %v", tr.log())
+	}
+}
+
+func TestEvolutionMaxEventsCap(t *testing.T) {
+	tr := newEvolutionTracker(3)
+	for i := 0; i < 10; i++ {
+		// Alternate between two disjoint partitions to force events.
+		if i%2 == 0 {
+			tr.observe(float64(i), []map[int64]bool{cellSet(int64(i*10 + 1))})
+		} else {
+			tr.observe(float64(i), []map[int64]bool{cellSet(int64(i*10 + 5))})
+		}
+	}
+	if len(tr.log()) > 3 {
+		t.Errorf("event log exceeded cap: %d events", len(tr.log()))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	events := []Event{
+		{Kind: Emerge, Time: 1, Targets: []int{1}},
+		{Kind: Disappear, Time: 2, Sources: []int{1}},
+		{Kind: Split, Time: 3, Sources: []int{1}, Targets: []int{1, 2}},
+		{Kind: Merge, Time: 4, Sources: []int{1, 2}, Targets: []int{1}},
+		{Kind: Adjust, Time: 5, Sources: []int{1}, Targets: []int{1}},
+	}
+	for _, e := range events {
+		if e.String() == "" {
+			t.Errorf("empty String() for %v", e.Kind)
+		}
+	}
+}

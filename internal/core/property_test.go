@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// TestRandomStreamInvariantsQuick feeds randomly generated streams
+// (random cluster counts, spreads, noise levels and radii) through
+// EDMStream and checks after every run that the DP-Tree invariants
+// hold, the snapshot is a partition of the active cells, and the
+// bookkeeping counters are consistent. It is the repository's main
+// randomized robustness check for the core algorithm.
+func TestRandomStreamInvariantsQuick(t *testing.T) {
+	prop := func(seedU uint16, clustersU, noiseU, radiusU uint8) bool {
+		seed := int64(seedU)
+		rng := rand.New(rand.NewSource(seed))
+		clusters := 1 + int(clustersU%4)
+		noise := float64(noiseU%30) / 100
+		radius := 0.3 + float64(radiusU%20)/10
+
+		centers := make([][]float64, clusters)
+		for i := range centers {
+			centers[i] = []float64{rng.Float64()*20 - 10, rng.Float64()*20 - 10}
+		}
+
+		e, err := New(Config{Radius: radius, Tau: 3, InitPoints: 100, EvolutionInterval: 0.2, SweepInterval: 0.1})
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		const n = 1200
+		for i := 0; i < n; i++ {
+			var vec []float64
+			if rng.Float64() < noise {
+				vec = []float64{rng.Float64()*40 - 20, rng.Float64()*40 - 20}
+			} else {
+				c := centers[rng.Intn(clusters)]
+				vec = []float64{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5}
+			}
+			p := stream.Point{ID: int64(i), Vector: vec, Time: float64(i) / 1000, Label: stream.NoLabel}
+			if err := e.Insert(p); err != nil {
+				t.Logf("insert failed: %v", err)
+				return false
+			}
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		snap := e.Snapshot()
+		seen := map[int64]bool{}
+		covered := 0
+		for _, c := range snap.Clusters {
+			if len(c.CellIDs) == 0 {
+				t.Log("empty cluster in snapshot")
+				return false
+			}
+			for _, id := range c.CellIDs {
+				if seen[id] {
+					t.Log("cell in two clusters")
+					return false
+				}
+				seen[id] = true
+				covered++
+			}
+		}
+		if covered != snap.ActiveCells {
+			t.Logf("partition covers %d cells, active = %d", covered, snap.ActiveCells)
+			return false
+		}
+		st := e.Stats()
+		if st.Points != n {
+			t.Logf("points counter %d != %d", st.Points, n)
+			return false
+		}
+		if st.ActiveCells+st.InactiveCells != int(st.CellsCreated-st.Deletions) {
+			t.Logf("cell bookkeeping mismatch: %+v", st)
+			return false
+		}
+		// Invariants must also hold after invoking the clustering via
+		// the stream.Clusterer interface path.
+		if got := e.Clusters(e.Now() + 0.5); len(got) != len(e.LastSnapshot().Clusters) {
+			t.Log("Clusters() and LastSnapshot() disagree")
+			return false
+		}
+		return e.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotIsolation verifies that snapshots do not alias the
+// clusterer's internal state: mutating a returned snapshot must not
+// corrupt later clustering.
+func TestSnapshotIsolation(t *testing.T) {
+	pts := blobStream([][]float64{{0, 0}, {8, 8}}, 0.5, 2000, 1000, 21)
+	e, err := New(Config{Radius: 0.8, Tau: 3, InitPoints: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, pts)
+	snap := e.Snapshot()
+	if snap.NumClusters() == 0 {
+		t.Fatal("no clusters")
+	}
+	// Vandalize the snapshot, including the seed vectors it carries.
+	for i := range snap.Clusters {
+		snap.Clusters[i].CellIDs = nil
+		snap.Clusters[i].ID = -99
+		for _, seed := range snap.Clusters[i].SeedPoints {
+			for d := range seed.Vector {
+				seed.Vector[d] = 1e9
+			}
+		}
+	}
+	again := e.Snapshot()
+	if again.NumClusters() != 2 {
+		t.Fatalf("clusterer state corrupted by snapshot mutation: %d clusters", again.NumClusters())
+	}
+	for _, c := range again.Clusters {
+		if len(c.CellIDs) == 0 || c.ID < 0 {
+			t.Fatalf("cluster info corrupted: %+v", c)
+		}
+		for _, seed := range c.SeedPoints {
+			for _, v := range seed.Vector {
+				if v > 1e8 {
+					t.Fatal("snapshot seed mutation leaked into the clusterer's cells")
+				}
+			}
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+// reservoir is the outlier reservoir of Sec. 4.1/4.4: it caches
+// inactive cluster-cells (low timely-density cells) so they can either
+// absorb new points and re-enter the DP-Tree or, once outdated, be
+// deleted to recycle memory.
+type reservoir struct {
+	cells map[int64]*Cell
+}
+
+func newReservoir() *reservoir {
+	return &reservoir{cells: make(map[int64]*Cell)}
+}
+
+// size returns the number of inactive cells currently cached.
+func (r *reservoir) size() int { return len(r.cells) }
+
+// add parks a cell in the reservoir.
+func (r *reservoir) add(c *Cell) {
+	c.active = false
+	r.cells[c.id] = c
+}
+
+// remove takes a cell out of the reservoir (because it is promoted or
+// deleted).
+func (r *reservoir) remove(c *Cell) {
+	delete(r.cells, c.id)
+}
+
+// expire removes and returns the outdated cells: inactive cells that
+// have not absorbed any point for at least deleteDelay seconds
+// (Sec. 4.4, Theorem 3).
+func (r *reservoir) expire(now, deleteDelay float64) []*Cell {
+	var expired []*Cell
+	for _, c := range r.cells {
+		if now-c.lastAbsorb >= deleteDelay {
+			expired = append(expired, c)
+		}
+	}
+	for _, c := range expired {
+		delete(r.cells, c.id)
+	}
+	return expired
+}

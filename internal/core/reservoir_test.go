@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+func TestReservoirAddRemoveExpire(t *testing.T) {
+	r := newReservoir()
+	if r.size() != 0 {
+		t.Fatalf("new reservoir size = %d", r.size())
+	}
+	c1 := newCell(1, numericPoint(0, 0, 0))
+	c2 := newCell(2, numericPoint(1, 0, 5))
+	c3 := newCell(3, numericPoint(2, 2.0, 9))
+	c1.lastAbsorb = 0
+	c2.lastAbsorb = 1.5
+	c3.lastAbsorb = 2.0
+	r.add(c1)
+	r.add(c2)
+	r.add(c3)
+	if r.size() != 3 {
+		t.Fatalf("size = %d, want 3", r.size())
+	}
+	if c1.Active() || c2.Active() {
+		t.Error("cells in the reservoir must be inactive")
+	}
+
+	// At time 2.1 with ΔTdel = 1.0, only c1 (idle since 0) is outdated.
+	expired := r.expire(2.1, 1.0)
+	if len(expired) != 1 || expired[0] != c1 {
+		t.Fatalf("expire returned %v, want only the stale cell", expired)
+	}
+	if r.size() != 2 {
+		t.Errorf("size after expire = %d, want 2", r.size())
+	}
+
+	r.remove(c2)
+	if r.size() != 1 {
+		t.Errorf("size after remove = %d, want 1", r.size())
+	}
+	// Removing a cell that is not present is a no-op.
+	r.remove(c2)
+	if r.size() != 1 {
+		t.Errorf("double remove changed size to %d", r.size())
+	}
+
+	// Expiring far in the future clears everything.
+	if got := r.expire(100, 1.0); len(got) != 1 {
+		t.Errorf("final expire returned %d cells, want 1", len(got))
+	}
+	if r.size() != 0 {
+		t.Errorf("reservoir not empty after expiry: %d", r.size())
+	}
+}

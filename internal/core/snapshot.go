@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// ClusterInfo describes one cluster (one maximal strongly dependent
+// subtree of the DP-Tree) in a snapshot.
+type ClusterInfo struct {
+	// ID is the stable cluster identifier assigned by the evolution
+	// tracker.
+	ID int
+	// PeakCellID is the cell at the cluster's density peak (the root of
+	// the MSDSubTree).
+	PeakCellID int64
+	// PeakDensity is the peak cell's timely density at snapshot time.
+	PeakDensity float64
+	// CellIDs are the member cells.
+	CellIDs []int64
+	// SeedPoints are the member cells' seed points (numeric vectors or
+	// token sets, depending on the stream).
+	SeedPoints []stream.Point
+	// Weight is the summed timely density of the member cells.
+	Weight float64
+	// Points is the total number of points ever absorbed by the member
+	// cells.
+	Points int64
+}
+
+// Snapshot is an immutable view of the clustering at one point in time.
+type Snapshot struct {
+	// Time is the stream time of the snapshot.
+	Time float64
+	// Tau is the cluster-separation threshold used for this snapshot.
+	Tau float64
+	// Clusters are the clusters ordered by ID.
+	Clusters []ClusterInfo
+	// OutlierCells is the number of inactive cells in the outlier
+	// reservoir.
+	OutlierCells int
+	// ActiveCells is the number of cells in the DP-Tree.
+	ActiveCells int
+}
+
+// NumClusters returns the number of clusters in the snapshot.
+func (s Snapshot) NumClusters() int { return len(s.Clusters) }
+
+// Cluster returns the cluster with the given ID, if present.
+func (s Snapshot) Cluster(id int) (ClusterInfo, bool) {
+	for _, c := range s.Clusters {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return ClusterInfo{}, false
+}
+
+// MacroClusters converts the snapshot to the shared representation used
+// by the evaluation harness.
+func (s Snapshot) MacroClusters() []stream.MacroCluster {
+	out := make([]stream.MacroCluster, 0, len(s.Clusters))
+	for _, c := range s.Clusters {
+		mc := stream.MacroCluster{ID: c.ID, Weight: c.Weight}
+		for _, seed := range c.SeedPoints {
+			if seed.Vector != nil {
+				mc.Centers = append(mc.Centers, seed.Vector)
+			}
+		}
+		out = append(out, mc)
+	}
+	return out
+}
+
+// sortClusterInfo orders clusters by ID and their member cells by cell
+// ID so snapshots are deterministic.
+func sortClusterInfo(cs []ClusterInfo) {
+	for i := range cs {
+		sort.Slice(cs[i].CellIDs, func(a, b int) bool { return cs[i].CellIDs[a] < cs[i].CellIDs[b] })
+	}
+	sort.Slice(cs, func(a, b int) bool { return cs[a].ID < cs[b].ID })
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// graphWithPeaks builds a decision graph with `peaks` cells having an
+// anomalously large δ (clear density peaks) and `others` ordinary cells
+// with small δ.
+func graphWithPeaks(peaks, others int, peakDelta, ordinaryDelta float64) []DecisionPoint {
+	var graph []DecisionPoint
+	id := int64(1)
+	for i := 0; i < peaks; i++ {
+		graph = append(graph, DecisionPoint{CellID: id, Rho: 100 + float64(i), Delta: peakDelta + float64(i)})
+		id++
+	}
+	for i := 0; i < others; i++ {
+		graph = append(graph, DecisionPoint{CellID: id, Rho: 50 + float64(i%20), Delta: ordinaryDelta + float64(i%5)*0.01})
+		id++
+	}
+	return graph
+}
+
+func TestDefaultTauSelectorSeparatesPeaks(t *testing.T) {
+	graph := graphWithPeaks(3, 40, 10, 0.5)
+	tau := DefaultTauSelector(graph)
+	if !(tau > 0.6 && tau < 10) {
+		t.Errorf("tau = %v, want a value between the ordinary deltas (~0.5) and the peak deltas (>=10)", tau)
+	}
+	// Every peak must be above tau and every ordinary cell below it.
+	for _, dp := range graph {
+		if dp.Delta >= 10 && dp.Delta <= tau {
+			t.Errorf("peak with delta %v not separated by tau %v", dp.Delta, tau)
+		}
+		if dp.Delta <= 0.6 && dp.Delta > tau {
+			t.Errorf("ordinary cell with delta %v above tau %v", dp.Delta, tau)
+		}
+	}
+}
+
+func TestDefaultTauSelectorEdgeCases(t *testing.T) {
+	if got := DefaultTauSelector(nil); got != 0 {
+		t.Errorf("empty graph should yield 0, got %v", got)
+	}
+	// Graph with only infinite deltas (a single root) yields 0.
+	graph := []DecisionPoint{{CellID: 1, Rho: 10, Delta: math.Inf(1)}}
+	if got := DefaultTauSelector(graph); got != 0 {
+		t.Errorf("graph with only the root should yield 0, got %v", got)
+	}
+	// Single finite delta: that delta is returned.
+	graph = []DecisionPoint{
+		{CellID: 1, Rho: 10, Delta: math.Inf(1)},
+		{CellID: 2, Rho: 9, Delta: 2.5},
+	}
+	if got := DefaultTauSelector(graph); got != 2.5 {
+		t.Errorf("single finite delta should be returned, got %v", got)
+	}
+}
+
+func TestTauObjective(t *testing.T) {
+	deltas := []float64{1, 2, 3, 4, 10, 12}
+	// A tau separating the small deltas from the large ones must score
+	// better (lower F) than degenerate splits.
+	good := tauObjective(0.5, 4.5, deltas)
+	if math.IsInf(good, 1) {
+		t.Fatal("good split should have a finite objective")
+	}
+	if f := tauObjective(0.5, 0.5, deltas); !math.IsInf(f, 1) {
+		t.Errorf("split with no intra distances should be +Inf, got %v", f)
+	}
+	if f := tauObjective(0.5, 20, deltas); !math.IsInf(f, 1) {
+		t.Errorf("split with no inter distances should be +Inf, got %v", f)
+	}
+	if f := tauObjective(0.5, 5, nil); !math.IsInf(f, 1) {
+		t.Errorf("empty delta set should be +Inf, got %v", f)
+	}
+	// Splitting inside the small-delta group moves ordinary deltas onto
+	// the inter side and scores worse than the clean split.
+	worse := tauObjective(0.5, 2.5, deltas)
+	if !(good < worse) {
+		t.Errorf("clean split F=%v should beat within-group split F=%v", good, worse)
+	}
+}
+
+func TestMinimizeTauFindsTheGap(t *testing.T) {
+	deltas := []float64{0.8, 0.9, 1.0, 1.1, 9, 10, 11}
+	cands := candidateTaus(deltas)
+	tau, ok := minimizeTau(0.5, cands, deltas)
+	if !ok {
+		t.Fatal("expected a finite minimizer")
+	}
+	if !(tau > 1.1 && tau < 9) {
+		t.Errorf("optimal tau = %v, want a value inside the gap (1.1, 9)", tau)
+	}
+}
+
+func TestCandidateTaus(t *testing.T) {
+	if got := candidateTaus(nil); len(got) != 0 {
+		t.Errorf("no deltas should give no candidates, got %v", got)
+	}
+	if got := candidateTaus([]float64{2}); len(got) != 1 || got[0] != 2 {
+		t.Errorf("single delta should give itself, got %v", got)
+	}
+	got := candidateTaus([]float64{1, 1, 1})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("identical deltas should give one candidate, got %v", got)
+	}
+	got = candidateTaus([]float64{3, 1, 2})
+	if len(got) != 2 {
+		t.Errorf("three distinct deltas should give two midpoints, got %v", got)
+	}
+}
+
+func TestFitAlphaRecoversPreference(t *testing.T) {
+	deltas := []float64{0.8, 0.9, 1.0, 1.1, 9, 10, 11}
+	// If the user separated the peaks (tau0 in the gap), the fitted
+	// alpha must make the optimal tau land in the same gap.
+	alpha := fitAlpha(5, deltas)
+	if alpha <= 0 || alpha >= 1 {
+		t.Fatalf("alpha = %v outside (0,1)", alpha)
+	}
+	tau, ok := minimizeTau(alpha, candidateTaus(deltas), deltas)
+	if !ok {
+		t.Fatal("no finite minimizer for fitted alpha")
+	}
+	if !(tau > 1.1 && tau < 9) {
+		t.Errorf("with fitted alpha the optimal tau = %v, want it inside the gap the user chose", tau)
+	}
+	// Degenerate inputs fall back to 0.5.
+	if got := fitAlpha(0, deltas); got != 0.5 {
+		t.Errorf("fitAlpha with tau0=0 should fall back to 0.5, got %v", got)
+	}
+	if got := fitAlpha(5, nil); got != 0.5 {
+		t.Errorf("fitAlpha with no deltas should fall back to 0.5, got %v", got)
+	}
+}
+
+func TestTauTunerRetune(t *testing.T) {
+	var tuner tauTuner
+	tuner.initialize(5, 0, []float64{0.8, 0.9, 1.0, 1.1, 9, 10, 11})
+	if tuner.tau != 5 {
+		t.Fatalf("initial tau = %v, want 5", tuner.tau)
+	}
+	// The delta distribution shifts (clusters drift apart): retuning
+	// must move tau into the new gap.
+	newDeltas := []float64{2, 2.2, 2.4, 30, 32, math.Inf(1)}
+	tau := tuner.retune(newDeltas)
+	if !(tau > 2.4 && tau < 30) {
+		t.Errorf("retuned tau = %v, want a value inside the new gap (2.4, 30)", tau)
+	}
+	// Degenerate distributions keep the previous tau.
+	prev := tuner.tau
+	if got := tuner.retune([]float64{math.Inf(1)}); got != prev {
+		t.Errorf("degenerate retune changed tau: %v -> %v", prev, got)
+	}
+	if got := tuner.retune(nil); got != prev {
+		t.Errorf("empty retune changed tau: %v -> %v", prev, got)
+	}
+}
+
+func TestTauTunerAlphaOverride(t *testing.T) {
+	var tuner tauTuner
+	tuner.initialize(5, 0.3, []float64{1, 2, 3})
+	if tuner.alpha != 0.3 {
+		t.Errorf("alpha override not respected: %v", tuner.alpha)
+	}
+}
+
+// Property: the objective is always positive (or +Inf) and candidate
+// minimization never panics for arbitrary small delta sets.
+func TestTauObjectiveQuick(t *testing.T) {
+	prop := func(raw []uint16, alphaU uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		deltas := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			deltas = append(deltas, 0.1+float64(r%500)/10)
+		}
+		alpha := 0.05 + float64(alphaU%90)/100
+		tau, ok := minimizeTau(alpha, candidateTaus(deltas), deltas)
+		if !ok {
+			return true
+		}
+		f := tauObjective(alpha, tau, deltas)
+		return f > 0 && !math.IsNaN(f)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

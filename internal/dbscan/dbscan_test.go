@@ -1,0 +1,139 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func blobs(centers [][]float64, n int, sigma float64, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []stream.Point
+	for label, c := range centers {
+		for i := 0; i < n; i++ {
+			vec := make([]float64, len(c))
+			for d := range vec {
+				vec[d] = c[d] + rng.NormFloat64()*sigma
+			}
+			pts = append(pts, stream.Point{ID: int64(len(pts)), Vector: vec, Label: label})
+		}
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Eps: 1, MinPts: 3}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, cfg := range []Config{{}, {Eps: -1, MinPts: 3}, {Eps: 1, MinPts: 0}} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+	if _, err := Cluster(nil, nil, Config{Eps: 1, MinPts: 2}); err == nil {
+		t.Error("empty input should be rejected")
+	}
+	pts := blobs([][]float64{{0, 0}}, 5, 0.1, 1)
+	if _, err := Cluster(pts, []float64{1}, Config{Eps: 1, MinPts: 2}); err == nil {
+		t.Error("mismatched weights should be rejected")
+	}
+}
+
+func TestTwoBlobsAndNoise(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {10, 10}}, 50, 0.5, 2)
+	// Isolated noise points.
+	pts = append(pts,
+		stream.Point{ID: 1000, Vector: []float64{50, 50}, Label: stream.NoLabel},
+		stream.Point{ID: 1001, Vector: []float64{-50, 30}, Label: stream.NoLabel},
+	)
+	res, err := Cluster(pts, nil, Config{Eps: 1.2, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("found %d clusters, want 2", res.NumClusters)
+	}
+	if res.Assignment[len(pts)-1] != Noise || res.Assignment[len(pts)-2] != Noise {
+		t.Error("isolated points should be noise")
+	}
+	// Purity check.
+	counts := map[int]map[int]int{}
+	for i, a := range res.Assignment {
+		if a == Noise {
+			continue
+		}
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][pts[i].Label]++
+	}
+	for cluster, labelCounts := range counts {
+		if len(labelCounts) != 1 {
+			t.Errorf("cluster %d mixes labels: %v", cluster, labelCounts)
+		}
+	}
+}
+
+func TestDensityConnectedBridge(t *testing.T) {
+	// Two blobs connected by a dense bridge must become one cluster —
+	// the defining behaviour (and weakness) of density-connectedness
+	// that Sec. 2.3 contrasts with DP clustering.
+	pts := blobs([][]float64{{0, 0}, {10, 0}}, 60, 0.5, 3)
+	for i := 0; i < 30; i++ {
+		pts = append(pts, stream.Point{ID: int64(1000 + i), Vector: []float64{float64(i) / 3.0, 0}, Label: 0})
+	}
+	res, err := Cluster(pts, nil, Config{Eps: 1.0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Errorf("bridged blobs should form one cluster, got %d", res.NumClusters)
+	}
+}
+
+func TestWeightedCorePoints(t *testing.T) {
+	// Three mutually-close points with large weights must form a
+	// cluster even though their count is below MinPts.
+	pts := []stream.Point{
+		{ID: 0, Vector: []float64{0, 0}},
+		{ID: 1, Vector: []float64{0.1, 0}},
+		{ID: 2, Vector: []float64{0, 0.1}},
+	}
+	weights := []float64{5, 5, 5}
+	res, err := Cluster(pts, weights, Config{Eps: 0.5, MinPts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Errorf("weighted points should form one cluster, got %d", res.NumClusters)
+	}
+	// Without weights they are all noise.
+	res, err = Cluster(pts, nil, Config{Eps: 0.5, MinPts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Errorf("unweighted sparse points should be noise, got %d clusters", res.NumClusters)
+	}
+}
+
+func TestAllNoise(t *testing.T) {
+	pts := []stream.Point{
+		{ID: 0, Vector: []float64{0, 0}},
+		{ID: 1, Vector: []float64{100, 0}},
+		{ID: 2, Vector: []float64{0, 100}},
+	}
+	res, err := Cluster(pts, nil, Config{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Errorf("scattered points should produce no clusters, got %d", res.NumClusters)
+	}
+	for i, a := range res.Assignment {
+		if a != Noise {
+			t.Errorf("point %d assigned to %d, want noise", i, a)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package dbstream implements the DBSTREAM baseline (Hahsler & Bolaños
+// — IEEE TKDE 2016) used for comparison in the paper's evaluation:
+// micro-clusters of fixed radius whose centers adapt toward absorbed
+// points, a shared-density graph between neighbouring micro-clusters
+// maintained online, and an offline phase that forms macro-clusters as
+// the connected components of the shared-density graph above an
+// intersection-factor threshold.
+package dbstream
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// Config parameterizes DBSTREAM.
+type Config struct {
+	// Radius is the micro-cluster radius r. Required.
+	Radius float64
+	// Alpha is the intersection factor threshold in (0,1] above which
+	// two micro-clusters are considered connected (default 0.3).
+	Alpha float64
+	// Lambda is unused directly; decay is taken from Decay. Kept for
+	// documentation parity with the original algorithm's parameter
+	// list.
+	Lambda float64
+	// Decay is the freshness decay model (default a=0.998, λ=1000).
+	Decay stream.Decay
+	// MinWeight is the minimum decayed weight for a micro-cluster to
+	// participate in the offline clustering (default 3).
+	MinWeight float64
+	// CleanupInterval is the stream-time interval between removal
+	// passes over weak micro-clusters and stale shared densities
+	// (default 1.0 seconds).
+	CleanupInterval float64
+	// LearningRate moves a micro-cluster center toward an absorbed
+	// point by this fraction of the distance (default 0.1).
+	LearningRate float64
+}
+
+func (c *Config) defaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.Decay == (stream.Decay{}) {
+		c.Decay = stream.Decay{A: 0.998, Lambda: 1000}
+	}
+	if c.MinWeight == 0 {
+		c.MinWeight = 3
+	}
+	if c.CleanupInterval == 0 {
+		c.CleanupInterval = 1.0
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	d := c
+	d.defaults()
+	if d.Radius <= 0 {
+		return fmt.Errorf("dbstream: radius must be positive, got %v", c.Radius)
+	}
+	if d.Alpha <= 0 || d.Alpha > 1 {
+		return fmt.Errorf("dbstream: α must be in (0,1], got %v", c.Alpha)
+	}
+	if d.LearningRate <= 0 || d.LearningRate > 1 {
+		return fmt.Errorf("dbstream: learning rate must be in (0,1], got %v", c.LearningRate)
+	}
+	return d.Decay.Validate()
+}
+
+// mc is a DBSTREAM micro-cluster: a moving center with decayed weight.
+type mc struct {
+	id         int64
+	center     []float64
+	weight     float64
+	lastUpdate float64
+}
+
+func (m *mc) weightAt(now float64, d stream.Decay) float64 {
+	return m.weight * d.Freshness(now, m.lastUpdate)
+}
+
+func (m *mc) distance(p stream.Point) float64 {
+	var s float64
+	for i := range m.center {
+		diff := m.center[i] - p.Vector[i]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+type pairKey struct{ a, b int64 }
+
+func newPairKey(a, b int64) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// sharedDensity is the decayed weight of points observed in the overlap
+// of two micro-clusters.
+type sharedDensity struct {
+	weight     float64
+	lastUpdate float64
+}
+
+// DBStream is the algorithm state. It implements stream.Clusterer.
+type DBStream struct {
+	cfg         Config
+	mcs         map[int64]*mc
+	shared      map[pairKey]*sharedDensity
+	nextID      int64
+	now         float64
+	lastCleanup float64
+}
+
+// New creates a DBSTREAM instance.
+func New(cfg Config) (*DBStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	return &DBStream{cfg: cfg, mcs: map[int64]*mc{}, shared: map[pairKey]*sharedDensity{}}, nil
+}
+
+// Name implements stream.Clusterer.
+func (d *DBStream) Name() string { return "DBSTREAM" }
+
+// NumMicroClusters returns the number of micro-clusters maintained.
+func (d *DBStream) NumMicroClusters() int { return len(d.mcs) }
+
+// Insert implements stream.Clusterer.
+func (d *DBStream) Insert(p stream.Point) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.IsText() {
+		return fmt.Errorf("dbstream: text points are not supported")
+	}
+	if p.Time > d.now {
+		d.now = p.Time
+	}
+	now := d.now
+
+	// All micro-clusters within radius of the point absorb it; every
+	// pair of them shares the point, increasing their shared density.
+	var hits []*mc
+	for _, m := range d.mcs {
+		if m.distance(p) <= d.cfg.Radius {
+			hits = append(hits, m)
+		}
+	}
+	if len(hits) == 0 {
+		m := &mc{id: d.nextID, center: append([]float64(nil), p.Vector...), weight: 1, lastUpdate: now}
+		d.nextID++
+		d.mcs[m.id] = m
+	} else {
+		for _, m := range hits {
+			m.weight = m.weightAt(now, d.cfg.Decay) + 1
+			m.lastUpdate = now
+			// Move the center toward the point (competitive learning).
+			for i := range m.center {
+				m.center[i] += d.cfg.LearningRate * (p.Vector[i] - m.center[i])
+			}
+		}
+		for i := 0; i < len(hits); i++ {
+			for j := i + 1; j < len(hits); j++ {
+				key := newPairKey(hits[i].id, hits[j].id)
+				s, ok := d.shared[key]
+				if !ok {
+					s = &sharedDensity{}
+					d.shared[key] = s
+				}
+				s.weight = s.weight*d.cfg.Decay.Freshness(now, s.lastUpdate) + 1
+				s.lastUpdate = now
+			}
+		}
+	}
+
+	if now-d.lastCleanup >= d.cfg.CleanupInterval {
+		d.cleanup(now)
+		d.lastCleanup = now
+	}
+	return nil
+}
+
+// cleanup removes weak micro-clusters and stale shared densities.
+func (d *DBStream) cleanup(now float64) {
+	for id, m := range d.mcs {
+		if m.weightAt(now, d.cfg.Decay) < 0.5 {
+			delete(d.mcs, id)
+		}
+	}
+	for key, s := range d.shared {
+		_, okA := d.mcs[key.a]
+		_, okB := d.mcs[key.b]
+		if !okA || !okB || s.weight*d.cfg.Decay.Freshness(now, s.lastUpdate) < 0.25 {
+			delete(d.shared, key)
+		}
+	}
+}
+
+// Clusters implements stream.Clusterer: the offline phase connects
+// micro-clusters whose shared density relative to the lighter
+// micro-cluster exceeds α and reports the connected components.
+func (d *DBStream) Clusters(now float64) []stream.MacroCluster {
+	if now > d.now {
+		d.now = now
+	}
+	now = d.now
+	// Strong micro-clusters participate in the clustering.
+	var ids []int64
+	for id, m := range d.mcs {
+		if m.weightAt(now, d.cfg.Decay) >= d.cfg.MinWeight {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	index := map[int64]int{}
+	for i, id := range ids {
+		index[id] = i
+	}
+	// Union-find over the connectivity graph.
+	parent := make([]int, len(ids))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for key, s := range d.shared {
+		ia, okA := index[key.a]
+		ib, okB := index[key.b]
+		if !okA || !okB {
+			continue
+		}
+		sw := s.weight * d.cfg.Decay.Freshness(now, s.lastUpdate)
+		wa := d.mcs[key.a].weightAt(now, d.cfg.Decay)
+		wb := d.mcs[key.b].weightAt(now, d.cfg.Decay)
+		minW := math.Min(wa, wb)
+		if minW > 0 && sw/minW >= d.cfg.Alpha {
+			union(ia, ib)
+		}
+	}
+
+	byRoot := map[int]*stream.MacroCluster{}
+	clusterID := 1
+	rootToID := map[int]int{}
+	for i, id := range ids {
+		root := find(i)
+		cid, ok := rootToID[root]
+		if !ok {
+			cid = clusterID
+			clusterID++
+			rootToID[root] = cid
+			byRoot[root] = &stream.MacroCluster{ID: cid}
+		}
+		m := d.mcs[id]
+		byRoot[root].Centers = append(byRoot[root].Centers, append([]float64(nil), m.center...))
+		byRoot[root].Weight += m.weightAt(now, d.cfg.Decay)
+	}
+	out := make([]stream.MacroCluster, 0, len(byRoot))
+	for _, mc := range byRoot {
+		out = append(out, *mc)
+	}
+	stream.SortClusters(out)
+	return out
+}

@@ -1,0 +1,168 @@
+package dbstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func twoBlobStream(n int, rate float64, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}}
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		k := i % 2
+		pts[i] = stream.Point{
+			ID:     int64(i),
+			Vector: []float64{centers[k][0] + rng.NormFloat64()*0.5, centers[k][1] + rng.NormFloat64()*0.5},
+			Label:  k,
+			Time:   float64(i) / rate,
+		}
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Radius: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Radius: -1},
+		{Radius: 1, Alpha: 2},
+		{Radius: 1, LearningRate: 1.5},
+		{Radius: 1, Decay: stream.Decay{A: 0, Lambda: 1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ stream.Clusterer = (*DBStream)(nil)
+}
+
+func TestTwoBlobClustering(t *testing.T) {
+	d, err := New(Config{Radius: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "DBSTREAM" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	pts := twoBlobStream(4000, 1000, 1)
+	for _, p := range pts {
+		if err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.NumMicroClusters() == 0 {
+		t.Fatal("no micro-clusters were formed")
+	}
+	clusters := d.Clusters(pts[len(pts)-1].Time)
+	if len(clusters) < 2 {
+		t.Fatalf("found %d clusters, want at least the two blobs", len(clusters))
+	}
+	// The two blobs must not be merged: no cluster may contain centers
+	// from both blobs.
+	for _, c := range clusters {
+		var near0, near10 bool
+		for _, center := range c.Centers {
+			if distance.Euclid(center, []float64{0, 0}) < 3 {
+				near0 = true
+			}
+			if distance.Euclid(center, []float64{10, 10}) < 3 {
+				near10 = true
+			}
+		}
+		if near0 && near10 {
+			t.Errorf("a single macro cluster spans both blobs")
+		}
+	}
+	// Both blobs are covered by some cluster.
+	covered0, covered10 := false, false
+	for _, c := range clusters {
+		for _, center := range c.Centers {
+			if distance.Euclid(center, []float64{0, 0}) < 3 {
+				covered0 = true
+			}
+			if distance.Euclid(center, []float64{10, 10}) < 3 {
+				covered10 = true
+			}
+		}
+	}
+	if !covered0 || !covered10 {
+		t.Errorf("clusters do not cover both blobs")
+	}
+}
+
+func TestSharedDensityMergesOverlappingBlobs(t *testing.T) {
+	// Two heavily overlapping blobs must end up density-connected into
+	// one macro cluster through the shared-density graph.
+	d, err := New(Config{Radius: 1.5, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4000; i++ {
+		ts := float64(i) / 1000
+		base := 0.0
+		if i%2 == 1 {
+			base = 1.0 // centers only 1.0 apart with radius 1.5
+		}
+		p := stream.Point{ID: int64(i), Vector: []float64{base + rng.NormFloat64()*0.4, rng.NormFloat64() * 0.4}, Time: ts}
+		if err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clusters := d.Clusters(4.0)
+	if len(clusters) != 1 {
+		t.Errorf("overlapping blobs should form one cluster, got %d", len(clusters))
+	}
+}
+
+func TestWeakMicroClustersCleanedUp(t *testing.T) {
+	d, err := New(Config{Radius: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// A burst of scattered points followed by a long quiet dense phase:
+	// the scattered micro-clusters must be cleaned up.
+	for i := 0; i < 6000; i++ {
+		ts := float64(i) / 1000
+		var vec []float64
+		if ts < 0.5 {
+			vec = []float64{rng.Float64() * 100, rng.Float64() * 100}
+		} else {
+			vec = []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3}
+		}
+		if err := d.Insert(stream.Point{ID: int64(i), Vector: vec, Time: ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := d.NumMicroClusters(); n > 200 {
+		t.Errorf("weak micro-clusters not cleaned up: %d remain", n)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	d, _ := New(Config{Radius: 1})
+	if err := d.Insert(stream.Point{}); err == nil {
+		t.Error("invalid point accepted")
+	}
+	if err := d.Insert(stream.Point{Tokens: distance.NewTokenSet("a")}); err == nil {
+		t.Error("text point accepted")
+	}
+}
+
+func TestClustersOnEmptyState(t *testing.T) {
+	d, _ := New(Config{Radius: 1})
+	if got := d.Clusters(0); got != nil {
+		t.Errorf("empty DBSTREAM should report no clusters, got %v", got)
+	}
+}

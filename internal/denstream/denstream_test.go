@@ -1,0 +1,150 @@
+package denstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func twoBlobStream(n int, rate float64, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}}
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		k := i % 2
+		pts[i] = stream.Point{
+			ID:     int64(i),
+			Vector: []float64{centers[k][0] + rng.NormFloat64()*0.5, centers[k][1] + rng.NormFloat64()*0.5},
+			Label:  k,
+			Time:   float64(i) / rate,
+		}
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Eps: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Eps: -1},
+		{Eps: 1, Beta: 2},
+		{Eps: 1, Mu: -3},
+		{Eps: 1, Decay: stream.Decay{A: 2, Lambda: 1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ stream.Clusterer = (*DenStream)(nil)
+}
+
+func TestTwoBlobClustering(t *testing.T) {
+	d, err := New(Config{Eps: 1.0, Mu: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "DenStream" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	pts := twoBlobStream(4000, 1000, 1)
+	for _, p := range pts {
+		if err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pot, _ := d.NumMicroClusters()
+	if pot == 0 {
+		t.Fatal("no potential micro-clusters were formed")
+	}
+	clusters := d.Clusters(pts[len(pts)-1].Time)
+	if len(clusters) != 2 {
+		t.Fatalf("found %d macro clusters, want 2", len(clusters))
+	}
+	// Assignments of recent points are label-consistent.
+	recent := pts[len(pts)-400:]
+	assign := stream.AssignToClusters(recent, clusters, 0)
+	consistent := 0
+	byLabel := map[int]map[int]int{}
+	for i, a := range assign {
+		l := recent[i].Label
+		if byLabel[l] == nil {
+			byLabel[l] = map[int]int{}
+		}
+		byLabel[l][a]++
+	}
+	for _, counts := range byLabel {
+		best, total := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		consistent += best
+		if float64(best) < 0.9*float64(total) {
+			t.Errorf("label assignments not consistent: %v", counts)
+		}
+	}
+	_ = consistent
+}
+
+func TestOldClusterFadesAway(t *testing.T) {
+	d, err := New(Config{Eps: 1.0, Mu: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	rate := 1000.0
+	// Phase 1: blob at (0,0); Phase 2: blob at (30,30).
+	for i := 0; i < 8000; i++ {
+		ts := float64(i) / rate
+		c := []float64{0, 0}
+		if ts >= 3 {
+			c = []float64{30, 30}
+		}
+		p := stream.Point{ID: int64(i), Vector: []float64{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5}, Time: ts}
+		if err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clusters := d.Clusters(8.0)
+	if len(clusters) != 1 {
+		t.Fatalf("expected only the recent cluster to survive, got %d", len(clusters))
+	}
+	center := clusters[0].Centers[0]
+	if distance.Euclid(center, []float64{30, 30}) > 5 {
+		t.Errorf("surviving cluster is not the recent one: center %v", center)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	d, err := New(Config{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(stream.Point{}); err == nil {
+		t.Error("invalid point accepted")
+	}
+	if err := d.Insert(stream.Point{Tokens: distance.NewTokenSet("a")}); err == nil {
+		t.Error("text point accepted")
+	}
+	if err := d.Insert(stream.Point{Vector: []float64{math.NaN()}}); err == nil {
+		t.Error("NaN point accepted")
+	}
+}
+
+func TestClustersOnEmptyState(t *testing.T) {
+	d, _ := New(Config{Eps: 1})
+	if got := d.Clusters(0); got != nil {
+		t.Errorf("empty DenStream should report no clusters, got %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEuclidean(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"zero", []float64{0, 0}, []float64{0, 0}, 0},
+		{"unit-x", []float64{0, 0}, []float64{1, 0}, 1},
+		{"3-4-5", []float64{0, 0}, []float64{3, 4}, 5},
+		{"negative", []float64{-1, -1}, []float64{2, 3}, 5},
+		{"1d", []float64{2}, []float64{7}, 5},
+		{"identical", []float64{1.5, 2.5, 3.5}, []float64{1.5, 2.5, 3.5}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Euclid(tt.a, tt.b); !almostEqual(got, tt.want) {
+				t.Errorf("Euclid(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSquaredEuclidean(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 6, 3}
+	if got := SqEuclid(a, b); !almostEqual(got, 25) {
+		t.Errorf("SqEuclid = %v, want 25", got)
+	}
+	// Squared distance must equal Euclidean squared.
+	if got, want := SqEuclid(a, b), Euclid(a, b)*Euclid(a, b); !almostEqual(got, want) {
+		t.Errorf("SqEuclid = %v, want Euclid^2 = %v", got, want)
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	if got := (Manhattan{}).Distance([]float64{1, 2}, []float64{4, -2}); !almostEqual(got, 7) {
+		t.Errorf("Manhattan = %v, want 7", got)
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	if got := (Chebyshev{}).Distance([]float64{1, 2, 3}, []float64{4, 0, 3}); !almostEqual(got, 3) {
+		t.Errorf("Chebyshev = %v, want 3", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"parallel", []float64{1, 0}, []float64{5, 0}, 0},
+		{"orthogonal", []float64{1, 0}, []float64{0, 3}, 1},
+		{"opposite", []float64{1, 0}, []float64{-2, 0}, 2},
+		{"zero-vector", []float64{0, 0}, []float64{1, 1}, 1},
+		{"both-zero", []float64{0, 0}, []float64{0, 0}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := (Cosine{}).Distance(tt.a, tt.b); !almostEqual(got, tt.want) {
+				t.Errorf("Cosine(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	if err := CheckDims([]float64{1}, []float64{1}); err != nil {
+		t.Errorf("CheckDims equal lengths: unexpected error %v", err)
+	}
+	if err := CheckDims([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("CheckDims mismatched lengths: expected error")
+	}
+	if err := CheckDims(nil, []float64{1}); err == nil {
+		t.Error("CheckDims empty vector: expected error")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"euclidean", "l2", "", "sqeuclidean", "manhattan", "l1", "chebyshev", "linf", "cosine"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): unexpected error %v", name, err)
+			continue
+		}
+		if m == nil {
+			t.Errorf("ByName(%q): nil metric", name)
+		}
+	}
+	if _, err := ByName("no-such-metric"); err == nil {
+		t.Error("ByName(unknown): expected error")
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	metrics := []Metric{Euclidean{}, SquaredEuclidean{}, Manhattan{}, Chebyshev{}, Cosine{}}
+	seen := map[string]bool{}
+	for _, m := range metrics {
+		name := m.Name()
+		if name == "" {
+			t.Errorf("%T has empty name", m)
+		}
+		if seen[name] {
+			t.Errorf("duplicate metric name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// bounded maps an arbitrary float64 into a finite range so quick
+// generators do not overflow the metrics to +Inf.
+func bounded(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1000)
+}
+
+func boundedVec(a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, x := range a {
+		out[i] = bounded(x)
+	}
+	return out
+}
+
+// Property: all vector metrics are symmetric, non-negative, and zero
+// on identical inputs.
+func TestMetricPropertiesQuick(t *testing.T) {
+	metrics := []Metric{Euclidean{}, SquaredEuclidean{}, Manhattan{}, Chebyshev{}, Cosine{}}
+	for _, m := range metrics {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			prop := func(a, b [8]float64) bool {
+				av, bv := boundedVec(a[:]), boundedVec(b[:])
+				dab := m.Distance(av, bv)
+				dba := m.Distance(bv, av)
+				if math.IsNaN(dab) || dab < 0 {
+					return false
+				}
+				if !almostEqual(dab, dba) {
+					return false
+				}
+				// identity of indiscernibles is not required for cosine
+				// with zero vectors, but d(a,a) must be ~0 for non-zero a.
+				nonZero := false
+				for _, x := range av {
+					if x != 0 {
+						nonZero = true
+						break
+					}
+				}
+				if nonZero && m.Distance(av, av) > 1e-9 {
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: Euclidean satisfies the triangle inequality, which is the
+// premise of the paper's Theorem 2 (triangle inequality filter).
+func TestEuclideanTriangleInequalityQuick(t *testing.T) {
+	prop := func(a, b, c [5]float64) bool {
+		av, bv, cv := boundedVec(a[:]), boundedVec(b[:]), boundedVec(c[:])
+		ab := Euclid(av, bv)
+		bc := Euclid(bv, cv)
+		ac := Euclid(av, cv)
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |d(p,a) - d(p,b)| <= d(a,b), the exact inequality exploited
+// by Theorem 2.
+func TestReverseTriangleInequalityQuick(t *testing.T) {
+	prop := func(p, a, b [4]float64) bool {
+		pv, av, bv := boundedVec(p[:]), boundedVec(a[:]), boundedVec(b[:])
+		lhs := math.Abs(Euclid(pv, av) - Euclid(pv, bv))
+		return lhs <= Euclid(av, bv)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

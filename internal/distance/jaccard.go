@@ -1,0 +1,95 @@
+package distance
+
+// TokenSet is a set of string tokens, used for text data such as the
+// news stream of Sec. 6.2.2. The zero value is an empty set.
+type TokenSet map[string]struct{}
+
+// NewTokenSet builds a TokenSet from a list of tokens, dropping
+// duplicates and empty strings.
+func NewTokenSet(tokens ...string) TokenSet {
+	s := make(TokenSet, len(tokens))
+	for _, t := range tokens {
+		if t == "" {
+			continue
+		}
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts token into the set. Empty tokens are ignored.
+func (s TokenSet) Add(token string) {
+	if token == "" {
+		return
+	}
+	s[token] = struct{}{}
+}
+
+// Contains reports whether token is in the set.
+func (s TokenSet) Contains(token string) bool {
+	_, ok := s[token]
+	return ok
+}
+
+// Len returns the number of tokens in the set.
+func (s TokenSet) Len() int { return len(s) }
+
+// Tokens returns the tokens in the set in unspecified order.
+func (s TokenSet) Tokens() []string {
+	out := make([]string, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (s TokenSet) Clone() TokenSet {
+	c := make(TokenSet, len(s))
+	for t := range s {
+		c[t] = struct{}{}
+	}
+	return c
+}
+
+// Union returns a new set containing every token of s and t.
+func (s TokenSet) Union(t TokenSet) TokenSet {
+	u := s.Clone()
+	for tok := range t {
+		u[tok] = struct{}{}
+	}
+	return u
+}
+
+// IntersectionSize returns |s ∩ t| without allocating.
+func (s TokenSet) IntersectionSize(t TokenSet) int {
+	small, large := s, t
+	if len(t) < len(s) {
+		small, large = t, s
+	}
+	n := 0
+	for tok := range small {
+		if _, ok := large[tok]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Jaccard returns the Jaccard distance 1 - |a ∩ b| / |a ∪ b| between
+// two token sets. Two empty sets are at distance 0; an empty set is at
+// distance 1 from any non-empty set.
+func Jaccard(a, b TokenSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := a.IntersectionSize(b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// JaccardSimilarity returns |a ∩ b| / |a ∪ b|.
+func JaccardSimilarity(a, b TokenSet) float64 { return 1 - Jaccard(a, b) }

@@ -1,0 +1,102 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTokenSet(t *testing.T) {
+	s := NewTokenSet("a", "b", "a", "", "c")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicates and empties dropped)", s.Len())
+	}
+	for _, tok := range []string{"a", "b", "c"} {
+		if !s.Contains(tok) {
+			t.Errorf("missing token %q", tok)
+		}
+	}
+	if s.Contains("") {
+		t.Error("empty token should not be stored")
+	}
+}
+
+func TestTokenSetOps(t *testing.T) {
+	a := NewTokenSet("google", "wearable", "sdk")
+	b := NewTokenSet("google", "smartwatch")
+
+	if got := a.IntersectionSize(b); got != 1 {
+		t.Errorf("IntersectionSize = %d, want 1", got)
+	}
+	u := a.Union(b)
+	if u.Len() != 4 {
+		t.Errorf("Union size = %d, want 4", u.Len())
+	}
+	// Union must not mutate the receivers.
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Error("Union mutated its inputs")
+	}
+
+	c := a.Clone()
+	c.Add("nokia")
+	if a.Contains("nokia") {
+		t.Error("Clone is not independent of the original")
+	}
+	if got := len(c.Tokens()); got != 4 {
+		t.Errorf("Tokens length = %d, want 4", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b TokenSet
+		want float64
+	}{
+		{"identical", NewTokenSet("a", "b"), NewTokenSet("a", "b"), 0},
+		{"disjoint", NewTokenSet("a", "b"), NewTokenSet("c", "d"), 1},
+		{"half", NewTokenSet("a", "b"), NewTokenSet("b", "c"), 1 - 1.0/3.0},
+		{"both-empty", NewTokenSet(), NewTokenSet(), 0},
+		{"one-empty", NewTokenSet(), NewTokenSet("a"), 1},
+		{"subset", NewTokenSet("a"), NewTokenSet("a", "b", "c", "d"), 0.75},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Jaccard(tt.a, tt.b); !almostEqual(got, tt.want) {
+				t.Errorf("Jaccard = %v, want %v", got, tt.want)
+			}
+			if got := JaccardSimilarity(tt.a, tt.b); !almostEqual(got, 1-tt.want) {
+				t.Errorf("JaccardSimilarity = %v, want %v", got, 1-tt.want)
+			}
+		})
+	}
+}
+
+// Property: Jaccard distance is symmetric, bounded in [0,1], and zero
+// on identical sets.
+func TestJaccardPropertiesQuick(t *testing.T) {
+	build := func(words []uint8) TokenSet {
+		s := NewTokenSet()
+		for _, w := range words {
+			s.Add(string(rune('a' + w%20)))
+		}
+		return s
+	}
+	prop := func(aw, bw []uint8) bool {
+		a, b := build(aw), build(bw)
+		d := Jaccard(a, b)
+		if math.IsNaN(d) || d < 0 || d > 1 {
+			return false
+		}
+		if !almostEqual(d, Jaccard(b, a)) {
+			return false
+		}
+		if Jaccard(a, a) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

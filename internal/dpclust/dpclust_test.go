@@ -1,0 +1,188 @@
+package dpclust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// blobs generates k Gaussian blobs of n points each at the given
+// centers.
+func blobs(centers [][]float64, n int, sigma float64, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []stream.Point
+	for label, c := range centers {
+		for i := 0; i < n; i++ {
+			vec := make([]float64, len(c))
+			for d := range vec {
+				vec[d] = c[d] + rng.NormFloat64()*sigma
+			}
+			pts = append(pts, stream.Point{ID: int64(len(pts)), Vector: vec, Label: label})
+		}
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{CutoffDistance: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, cfg := range []Config{{}, {CutoffDistance: -1}, {CutoffDistance: 1, Tau: -1}, {CutoffDistance: 1, Xi: -1}} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+	if _, err := Cluster(nil, Config{CutoffDistance: 1}); err == nil {
+		t.Error("empty input should be rejected")
+	}
+}
+
+func TestClusterTwoBlobs(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {10, 10}}, 60, 0.6, 1)
+	res, err := Cluster(pts, Config{CutoffDistance: 1.5, Tau: 4, Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Fatalf("found %d clusters, want 2 (peaks %v)", res.NumClusters(), res.Peaks)
+	}
+	// Clusters must match the generating blobs (up to label permutation).
+	counts := map[int]map[int]int{}
+	for i, a := range res.Assignment {
+		if a == Noise {
+			continue
+		}
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][pts[i].Label]++
+	}
+	for cluster, labelCounts := range counts {
+		best, total := 0, 0
+		for _, c := range labelCounts {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best) < 0.95*float64(total) {
+			t.Errorf("cluster %d is impure: %v", cluster, labelCounts)
+		}
+	}
+	// The decision graph has one entry per point, with exactly one
+	// infinite delta (the global density maximum).
+	graph := res.DecisionGraph()
+	if len(graph) != len(pts) {
+		t.Fatalf("decision graph has %d entries, want %d", len(graph), len(pts))
+	}
+	infs := 0
+	for _, g := range graph {
+		if math.IsInf(g[1], 1) {
+			infs++
+		}
+	}
+	if infs != 1 {
+		t.Errorf("decision graph has %d infinite deltas, want 1", infs)
+	}
+}
+
+func TestGaussianKernelDensity(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {8, 8}}, 40, 0.5, 2)
+	res, err := Cluster(pts, Config{CutoffDistance: 1.0, Tau: 3, Xi: 0.5, GaussianKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Errorf("gaussian kernel found %d clusters, want 2", res.NumClusters())
+	}
+	for _, r := range res.Rho {
+		if r < 0 || math.IsNaN(r) {
+			t.Fatalf("invalid kernel density %v", r)
+		}
+	}
+}
+
+func TestOutliers(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}}, 80, 0.5, 3)
+	// A few isolated far-away points are outliers: low density.
+	for i := 0; i < 4; i++ {
+		pts = append(pts, stream.Point{ID: int64(len(pts)), Vector: []float64{50 + float64(i)*20, -40}, Label: stream.NoLabel})
+	}
+	res, err := Cluster(pts, Config{CutoffDistance: 1.5, Tau: 5, Xi: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(pts) - 4; i < len(pts); i++ {
+		if res.Assignment[i] != Noise {
+			t.Errorf("isolated point %d assigned to cluster %d, want noise", i, res.Assignment[i])
+		}
+	}
+	if res.NumClusters() != 1 {
+		t.Errorf("found %d clusters, want 1", res.NumClusters())
+	}
+}
+
+func TestDependencyChainProperties(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {6, 0}}, 50, 0.5, 4)
+	res, err := Cluster(pts, Config{CutoffDistance: 1.2, Tau: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		dep := res.Dependency[i]
+		if dep == -1 {
+			if !math.IsInf(res.Delta[i], 1) {
+				t.Errorf("point %d has no dependency but finite delta %v", i, res.Delta[i])
+			}
+			continue
+		}
+		// The dependency has density at least as high.
+		if res.Rho[dep] < res.Rho[i] {
+			t.Errorf("point %d depends on a lower-density point", i)
+		}
+		// Delta is the actual distance to the dependency.
+		if d := pts[i].Distance(pts[dep]); math.Abs(d-res.Delta[i]) > 1e-9 {
+			t.Errorf("point %d delta %v != distance to dependency %v", i, res.Delta[i], d)
+		}
+		// Delta is minimal: no strictly denser point is closer.
+		for j := range pts {
+			if res.Rho[j] > res.Rho[i] && pts[i].Distance(pts[j]) < res.Delta[i]-1e-9 {
+				t.Errorf("point %d has a closer higher-density point than its dependency", i)
+			}
+		}
+	}
+}
+
+func TestSuggestCutoff(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {5, 5}}, 30, 0.5, 5)
+	lo, err := SuggestCutoff(pts, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := SuggestCutoff(pts, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= 0 || hi < lo {
+		t.Errorf("cutoff suggestions out of order: %v, %v", lo, hi)
+	}
+	if _, err := SuggestCutoff(pts[:1], 0.01); err == nil {
+		t.Error("single point should be rejected")
+	}
+	if _, err := SuggestCutoff(pts, 1.5); err == nil {
+		t.Error("quantile out of range should be rejected")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	pts := []stream.Point{{ID: 0, Vector: []float64{1, 2}}}
+	res, err := Cluster(pts, Config{CutoffDistance: 1, Tau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 1 || res.Assignment[0] != 0 {
+		t.Errorf("single point should form one cluster: %+v", res)
+	}
+}

@@ -1,0 +1,134 @@
+package dstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func twoBlobStream(n int, rate float64, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}}
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		k := i % 2
+		pts[i] = stream.Point{
+			ID:     int64(i),
+			Vector: []float64{centers[k][0] + rng.NormFloat64()*0.5, centers[k][1] + rng.NormFloat64()*0.5},
+			Label:  k,
+			Time:   float64(i) / rate,
+		}
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{GridSize: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{GridSize: -1},
+		{GridSize: 1, Cm: 0.5, Cl: 0.8},
+		{GridSize: 1, Cl: -1, Cm: 2},
+		{GridSize: 1, Decay: stream.Decay{A: 2, Lambda: 1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ stream.Clusterer = (*DStream)(nil)
+}
+
+func TestTwoBlobClustering(t *testing.T) {
+	d, err := New(Config{GridSize: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "D-Stream" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	pts := twoBlobStream(4000, 1000, 1)
+	for _, p := range pts {
+		if err := d.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.NumCells() == 0 {
+		t.Fatal("no grid cells were created")
+	}
+	clusters := d.Clusters(pts[len(pts)-1].Time)
+	if len(clusters) != 2 {
+		t.Fatalf("found %d clusters, want 2", len(clusters))
+	}
+	// Each cluster sits near one blob.
+	var near0, near10 bool
+	for _, c := range clusters {
+		for _, center := range c.Centers {
+			if distance.Euclid(center, []float64{0, 0}) < 3 {
+				near0 = true
+			}
+			if distance.Euclid(center, []float64{10, 10}) < 3 {
+				near10 = true
+			}
+		}
+	}
+	if !near0 || !near10 {
+		t.Errorf("clusters do not cover both blobs")
+	}
+}
+
+func TestSporadicCellsPruned(t *testing.T) {
+	d, err := New(Config{GridSize: 1.0, SporadicDensity: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rate := 1000.0
+	// Scatter noise over a wide area plus one dense blob; the noise
+	// cells must be pruned over time rather than accumulating forever.
+	for i := 0; i < 6000; i++ {
+		ts := float64(i) / rate
+		var vec []float64
+		if i%10 == 0 {
+			vec = []float64{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+		} else {
+			vec = []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5}
+		}
+		if err := d.Insert(stream.Point{ID: int64(i), Vector: vec, Time: ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Noise cells received ~1 point each; with pruning they cannot all
+	// still be around (600 noise points were inserted).
+	if d.NumCells() > 400 {
+		t.Errorf("sporadic cells not pruned: %d cells", d.NumCells())
+	}
+	clusters := d.Clusters(6.0)
+	if len(clusters) != 1 {
+		t.Errorf("expected a single dense cluster, got %d", len(clusters))
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	d, _ := New(Config{GridSize: 1})
+	if err := d.Insert(stream.Point{}); err == nil {
+		t.Error("invalid point accepted")
+	}
+	if err := d.Insert(stream.Point{Tokens: distance.NewTokenSet("a")}); err == nil {
+		t.Error("text point accepted")
+	}
+}
+
+func TestClustersOnEmptyState(t *testing.T) {
+	d, _ := New(Config{GridSize: 1})
+	if got := d.Clusters(0); got != nil {
+		t.Errorf("empty D-Stream should report no clusters, got %v", got)
+	}
+}

@@ -1,0 +1,391 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func validateDataset(t *testing.T, d Dataset, wantN, wantDim, wantClasses int) {
+	t.Helper()
+	if d.Len() != wantN {
+		t.Errorf("%s: Len = %d, want %d", d.Name, d.Len(), wantN)
+	}
+	if d.Dim != wantDim {
+		t.Errorf("%s: Dim = %d, want %d", d.Name, d.Dim, wantDim)
+	}
+	if d.NumClasses != wantClasses {
+		t.Errorf("%s: NumClasses = %d, want %d", d.Name, d.NumClasses, wantClasses)
+	}
+	if d.SuggestedRadius <= 0 {
+		t.Errorf("%s: SuggestedRadius = %v, want positive", d.Name, d.SuggestedRadius)
+	}
+	for i, p := range d.Points {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: point %d invalid: %v", d.Name, i, err)
+		}
+		if p.Dim() != wantDim {
+			t.Fatalf("%s: point %d has dim %d, want %d", d.Name, i, p.Dim(), wantDim)
+		}
+		if p.Label != stream.NoLabel && (p.Label < 0 || p.Label >= wantClasses) {
+			t.Fatalf("%s: point %d has label %d outside [0,%d)", d.Name, i, p.Label, wantClasses)
+		}
+	}
+}
+
+func TestSDS(t *testing.T) {
+	d, err := SDS(SDSConfig{N: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateDataset(t, d, 2000, 2, 4)
+
+	// Phase structure: early points must include labels 0 and 1 only
+	// (plus noise); late points labels 2 and 3 only (plus noise).
+	early := map[int]int{}
+	late := map[int]int{}
+	for i, p := range d.Points {
+		frac := float64(i) / float64(len(d.Points))
+		if frac < 0.40 {
+			early[p.Label]++
+		}
+		if frac > 0.75 {
+			late[p.Label]++
+		}
+	}
+	if early[0] == 0 || early[1] == 0 {
+		t.Errorf("early phase missing cluster A or B: %v", early)
+	}
+	if early[2] != 0 || early[3] != 0 {
+		t.Errorf("early phase contains late clusters: %v", early)
+	}
+	if late[2] == 0 || late[3] == 0 {
+		t.Errorf("late phase missing split clusters C1/C2: %v", late)
+	}
+	if late[0] != 0 || late[1] != 0 {
+		t.Errorf("late phase still contains old clusters: %v", late)
+	}
+}
+
+func TestSDSDeterminism(t *testing.T) {
+	a, err := SDS(SDSConfig{N: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SDS(SDSConfig{N: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].Label != b.Points[i].Label {
+			t.Fatalf("same seed produced different labels at %d", i)
+		}
+		for j := range a.Points[i].Vector {
+			if a.Points[i].Vector[j] != b.Points[i].Vector[j] {
+				t.Fatalf("same seed produced different vectors at %d", i)
+			}
+		}
+	}
+	c, err := SDS(SDSConfig{N: 1000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range a.Points {
+		if a.Points[i].Vector[0] != c.Points[i].Vector[0] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSDSTooSmall(t *testing.T) {
+	if _, err := SDS(SDSConfig{N: 10, Seed: 1}); err == nil {
+		t.Error("expected error for tiny SDS")
+	}
+}
+
+func TestSDSEventsSchedule(t *testing.T) {
+	events := SDSEvents()
+	if len(events) != 4 {
+		t.Fatalf("SDSEvents returned %d events, want 4", len(events))
+	}
+	kinds := map[SDSEventKind]bool{}
+	for _, e := range events {
+		if e.Fraction <= 0 || e.Fraction >= 1 {
+			t.Errorf("event %v has fraction %v outside (0,1)", e.Kind, e.Fraction)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, k := range []SDSEventKind{SDSMerge, SDSEmerge, SDSDisappear, SDSSplit} {
+		if !kinds[k] {
+			t.Errorf("missing scripted event %v", k)
+		}
+	}
+}
+
+func TestHDS(t *testing.T) {
+	for _, dim := range []int{10, 30, 100} {
+		d, err := HDS(HDSConfig{N: 1500, Dim: dim, Clusters: 20, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateDataset(t, d, 1500, dim, 20)
+	}
+}
+
+func TestHDSClusterSeparation(t *testing.T) {
+	// Points of the same class must on average be much closer than
+	// points of different classes, otherwise the stream stops being a
+	// clustering benchmark.
+	d, err := HDS(HDSConfig{N: 2000, Dim: 10, Clusters: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter float64
+	var intraN, interN int
+	pts := d.Points
+	for i := 0; i < 300; i++ {
+		for j := i + 1; j < 300; j++ {
+			if pts[i].Label == stream.NoLabel || pts[j].Label == stream.NoLabel {
+				continue
+			}
+			dd := pts[i].Distance(pts[j])
+			if pts[i].Label == pts[j].Label {
+				intra += dd
+				intraN++
+			} else {
+				inter += dd
+				interN++
+			}
+		}
+	}
+	if intraN == 0 || interN == 0 {
+		t.Skip("sample too small to compare intra/inter distances")
+	}
+	if intra/float64(intraN)*3 > inter/float64(interN) {
+		t.Errorf("clusters not separated: intra avg %v, inter avg %v", intra/float64(intraN), inter/float64(interN))
+	}
+}
+
+func TestHDSErrors(t *testing.T) {
+	if _, err := HDS(HDSConfig{N: 5, Dim: 10, Clusters: 20, Seed: 1}); err == nil {
+		t.Error("expected error when clusters exceed points")
+	}
+}
+
+func TestRealLikeGenerators(t *testing.T) {
+	tests := []struct {
+		name    string
+		gen     func(RealLikeConfig) (Dataset, error)
+		dim     int
+		classes int
+	}{
+		{"kdd", KDDLike, 34, 23},
+		{"covertype", CoverTypeLike, 54, 7},
+		{"pamap2", PAMAPLike, 51, 13},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := tt.gen(RealLikeConfig{N: 3000, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			validateDataset(t, d, 3000, tt.dim, tt.classes)
+			// All simulators must cover more than one class in a
+			// reasonably sized prefix.
+			seen := map[int]bool{}
+			for _, p := range d.Points {
+				if p.Label != stream.NoLabel {
+					seen[p.Label] = true
+				}
+			}
+			if len(seen) < 3 {
+				t.Errorf("%s covers only %d classes", tt.name, len(seen))
+			}
+		})
+	}
+}
+
+func TestKDDLikeSkewAndBurstiness(t *testing.T) {
+	d, err := KDDLike(RealLikeConfig{N: 20000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	runs := 0
+	prev := -2
+	for _, p := range d.Points {
+		if p.Label != stream.NoLabel {
+			counts[p.Label]++
+		}
+		if p.Label != prev {
+			runs++
+			prev = p.Label
+		}
+	}
+	// Skew: the largest class must dominate the smallest observed class.
+	max, min := 0, 1<<30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 10*min {
+		t.Errorf("class sizes not skewed enough: max %d, min %d", max, min)
+	}
+	// Burstiness: far fewer label runs than points.
+	if runs > len(d.Points)/3 {
+		t.Errorf("arrival not bursty: %d runs over %d points", runs, len(d.Points))
+	}
+}
+
+func TestPAMAPLikeSegments(t *testing.T) {
+	d, err := PAMAPLike(RealLikeConfig{N: 10000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Activity segments: long same-label runs dominate.
+	runs := 0
+	prev := -2
+	for _, p := range d.Points {
+		if p.Label == stream.NoLabel {
+			continue
+		}
+		if p.Label != prev {
+			runs++
+			prev = p.Label
+		}
+	}
+	if runs > 200 {
+		t.Errorf("PAMAP-like stream has %d segments over 10000 points; expected long activity segments", runs)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sds", "kdd", "covertype", "pamap2", "hds-10", "hds-30"} {
+		d, err := ByName(name, 1200, 1)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if d.Len() != 1200 {
+			t.Errorf("ByName(%q): Len = %d, want 1200", name, d.Len())
+		}
+	}
+	if _, err := ByName("nope", 100, 1); err == nil {
+		t.Error("ByName(unknown): expected error")
+	}
+	if _, err := ByName("hds-0", 100, 1); err == nil {
+		t.Error("ByName(hds-0): expected error")
+	}
+}
+
+func TestSuggestRadius(t *testing.T) {
+	d, err := SDS(SDSConfig{N: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := SuggestRadius(d.Points, 0.005, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SuggestRadius(d.Points, 0.02, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= 0 || r2 <= 0 {
+		t.Fatalf("non-positive radii: %v, %v", r1, r2)
+	}
+	if r1 > r2 {
+		t.Errorf("radius at 0.5%% quantile (%v) should not exceed radius at 2%% quantile (%v)", r1, r2)
+	}
+	if _, err := SuggestRadius(d.Points[:1], 0.01, 0); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := SuggestRadius(d.Points, 2, 0); err == nil {
+		t.Error("expected error for quantile > 1")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pts := []stream.Point{
+		{Vector: []float64{1, 5}},
+		{Vector: []float64{-3, 7}},
+		{Vector: []float64{2, -1}},
+	}
+	lo, hi := Bounds(pts)
+	if lo[0] != -3 || lo[1] != -1 || hi[0] != 2 || hi[1] != 7 {
+		t.Errorf("Bounds = %v %v", lo, hi)
+	}
+	if lo, hi := Bounds(nil); lo != nil || hi != nil {
+		t.Error("Bounds(nil) should return nil, nil")
+	}
+}
+
+func TestRateSource(t *testing.T) {
+	d, err := SDS(SDSConfig{N: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := d.RateSource(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := stream.Collect(src, 0)
+	if len(pts) != 500 {
+		t.Fatalf("collected %d", len(pts))
+	}
+	if math.Abs(pts[499].Time-0.499) > 1e-9 {
+		t.Errorf("last timestamp %v, want 0.499", pts[499].Time)
+	}
+}
+
+// Property: zipfWeights always returns a normalized, decreasing
+// distribution.
+func TestZipfWeightsQuick(t *testing.T) {
+	prop := func(kU uint8, sU uint8) bool {
+		k := int(kU%30) + 1
+		s := 0.5 + float64(sU%30)/10
+		w := zipfWeights(k, s)
+		if len(w) != k {
+			return false
+		}
+		var sum float64
+		for i, x := range w {
+			if x <= 0 {
+				return false
+			}
+			if i > 0 && x > w[i-1]+1e-12 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sampleCategorical always returns a valid index.
+func TestSampleCategoricalQuick(t *testing.T) {
+	rng := newTestRand()
+	prop := func(kU uint8) bool {
+		k := int(kU%20) + 1
+		w := zipfWeights(k, 1.2)
+		idx := sampleCategorical(rng, w)
+		return idx >= 0 && idx < k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,6 @@
+package gen
+
+import "math/rand"
+
+// newTestRand returns a deterministic RNG for use in property tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1234)) }

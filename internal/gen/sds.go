@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// SDSEventKind names the cluster evolution events scripted into the
+// SDS stream (they mirror the activities visible in Fig. 6/7).
+type SDSEventKind string
+
+// The evolution activities scripted into SDS.
+const (
+	SDSMerge     SDSEventKind = "merge"
+	SDSEmerge    SDSEventKind = "emerge"
+	SDSDisappear SDSEventKind = "disappear"
+	SDSSplit     SDSEventKind = "split"
+)
+
+// SDSEvent records one scripted evolution activity and when it happens,
+// expressed as a fraction of the stream (0 = first point, 1 = last).
+// At the paper's 1,000 pt/s over 20,000 points, fraction f corresponds
+// to wall-clock time 20·f seconds.
+type SDSEvent struct {
+	Kind     SDSEventKind
+	Fraction float64
+}
+
+// SDSConfig parameterizes the SDS generator.
+type SDSConfig struct {
+	// N is the total number of points (the paper uses 20,000).
+	N int
+	// Seed seeds the deterministic random generator.
+	Seed int64
+	// NoiseFraction is the fraction of uniform background noise points
+	// (default 0.02).
+	NoiseFraction float64
+	// Sigma is the standard deviation of each Gaussian cluster
+	// (default 0.5).
+	Sigma float64
+}
+
+func (c *SDSConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 20000
+	}
+	if c.NoiseFraction <= 0 {
+		c.NoiseFraction = 0.02
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 0.5
+	}
+}
+
+// SDSEvents returns the scripted evolution schedule of the SDS stream,
+// mirroring Fig. 7: two clusters approach and merge at 45% of the
+// stream (t≈9 s at 1 k/s), a new cluster emerges at 60% (t≈12 s), the
+// old cluster disappears at 70% (t≈14 s), and the new cluster splits in
+// two at 70% as well.
+func SDSEvents() []SDSEvent {
+	return []SDSEvent{
+		{Kind: SDSMerge, Fraction: 0.45},
+		{Kind: SDSEmerge, Fraction: 0.60},
+		{Kind: SDSDisappear, Fraction: 0.70},
+		{Kind: SDSSplit, Fraction: 0.70},
+	}
+}
+
+// SDS generates the 2-D synthetic stream of Sec. 6.2.1. The stream is
+// scripted so that, replayed at a constant rate, its clusters reproduce
+// the evolution activities of Fig. 6/7:
+//
+//	phase 1 [0%,45%):  clusters A and B move toward each other
+//	phase 2 [45%,60%): A and B have merged into one cluster M
+//	phase 3 [60%,70%): a new cluster C emerges on the right while M
+//	                   fades (receives ever fewer points)
+//	phase 4 [70%,100%]: M has disappeared and C splits into C1/C2 that
+//	                   drift apart
+//
+// Ground-truth labels: 0 = cluster A / merged M, 1 = cluster B (until
+// the merge, then label 0), 2 = cluster C / C1, 3 = C2, -1 = noise.
+func SDS(cfg SDSConfig) (Dataset, error) {
+	cfg.defaults()
+	if cfg.N < 100 {
+		return Dataset{}, fmt.Errorf("gen: SDS needs at least 100 points, got %d", cfg.N)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	points := make([]stream.Point, 0, cfg.N)
+
+	for i := 0; i < cfg.N; i++ {
+		frac := float64(i) / float64(cfg.N)
+		if rng.Float64() < cfg.NoiseFraction {
+			points = append(points, stream.Point{
+				Vector: uniformPoint(rng, 2, -10, 10),
+				Label:  stream.NoLabel,
+			})
+			continue
+		}
+		var center []float64
+		var label int
+		switch {
+		case frac < 0.45:
+			// Two clusters approaching each other: A from (-6,0) to
+			// (-0.8,0), B from (6,0) to (0.8,0).
+			prog := frac / 0.45
+			if rng.Intn(2) == 0 {
+				center = []float64{-6 + 5.2*prog, 0}
+				label = 0
+			} else {
+				center = []float64{6 - 5.2*prog, 0}
+				label = 1
+			}
+		case frac < 0.60:
+			// Merged cluster M sits at the origin.
+			center = []float64{0, 0}
+			label = 0
+		case frac < 0.70:
+			// Cluster C emerges at (8,0); M fades: the share of points
+			// it receives decreases linearly to zero.
+			prog := (frac - 0.60) / 0.10
+			if rng.Float64() < 1-prog {
+				center = []float64{0, 0}
+				label = 0
+			} else {
+				center = []float64{8, 0}
+				label = 2
+			}
+		default:
+			// M is gone; C has split into C1 moving up and C2 moving
+			// down.
+			prog := (frac - 0.70) / 0.30
+			if rng.Intn(2) == 0 {
+				center = []float64{8, 1 + 4*prog}
+				label = 2
+			} else {
+				center = []float64{8, -1 - 4*prog}
+				label = 3
+			}
+		}
+		points = append(points, stream.Point{
+			Vector: gaussianPoint(rng, center, cfg.Sigma),
+			Label:  label,
+		})
+	}
+
+	return Dataset{
+		Name:            "SDS",
+		Points:          points,
+		Dim:             2,
+		NumClasses:      4,
+		SuggestedRadius: 0.3,
+	}, nil
+}

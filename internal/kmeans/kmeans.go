@@ -1,0 +1,175 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding.
+// It is the classic offline clustering step used by CluStream-style
+// two-phase stream algorithms (Sec. 7) and a convenience baseline for
+// the examples and the data-generator tests.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// Config parameterizes k-means.
+type Config struct {
+	// K is the number of clusters. Required.
+	K int
+	// MaxIterations bounds Lloyd's iterations (default 100).
+	MaxIterations int
+	// Seed seeds the k-means++ initialization.
+	Seed int64
+	// Tolerance stops the iteration when no centroid moves farther than
+	// this (default 1e-6).
+	Tolerance float64
+}
+
+func (c *Config) defaults() {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-6
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("kmeans: k must be at least 1, got %d", c.K)
+	}
+	return nil
+}
+
+// Result holds the clustering output.
+type Result struct {
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Assignment is each point's cluster index.
+	Assignment []int
+	// Inertia is the sum of squared distances of points to their
+	// centroid.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Cluster runs k-means over the points' vectors.
+func Cluster(points []stream.Point, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg.defaults()
+	n := len(points)
+	if n == 0 {
+		return Result{}, errors.New("kmeans: no points")
+	}
+	if cfg.K > n {
+		return Result{}, fmt.Errorf("kmeans: k=%d exceeds the number of points %d", cfg.K, n)
+	}
+	dim := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != dim || p.IsText() {
+			return Result{}, fmt.Errorf("kmeans: point %d has dimension %d (text=%v), want %d numeric", i, p.Dim(), p.IsText(), dim)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centroids := plusPlusInit(points, cfg.K, rng)
+	assignment := make([]int, n)
+
+	iterations := 0
+	for ; iterations < cfg.MaxIterations; iterations++ {
+		// Assignment step.
+		for i, p := range points {
+			best, bestDist := 0, math.Inf(1)
+			for k, c := range centroids {
+				if d := distance.SqEuclid(p.Vector, c); d < bestDist {
+					best, bestDist = k, d
+				}
+			}
+			assignment[i] = best
+		}
+		// Update step.
+		sums := make([][]float64, cfg.K)
+		counts := make([]int, cfg.K)
+		for k := range sums {
+			sums[k] = make([]float64, dim)
+		}
+		for i, p := range points {
+			k := assignment[i]
+			counts[k]++
+			for d, v := range p.Vector {
+				sums[k][d] += v
+			}
+		}
+		moved := 0.0
+		for k := range centroids {
+			if counts[k] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centroids[k] = append([]float64(nil), points[rng.Intn(n)].Vector...)
+				moved = math.Inf(1)
+				continue
+			}
+			next := make([]float64, dim)
+			for d := range next {
+				next[d] = sums[k][d] / float64(counts[k])
+			}
+			if d := distance.Euclid(next, centroids[k]); d > moved {
+				moved = d
+			}
+			centroids[k] = next
+		}
+		if moved <= cfg.Tolerance {
+			iterations++
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += distance.SqEuclid(p.Vector, centroids[assignment[i]])
+	}
+	return Result{Centroids: centroids, Assignment: assignment, Inertia: inertia, Iterations: iterations}, nil
+}
+
+// plusPlusInit picks k initial centroids with the k-means++ scheme.
+func plusPlusInit(points []stream.Point, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), points[rng.Intn(n)].Vector...))
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := distance.SqEuclid(p.Vector, c); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids.
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(n)].Vector...))
+			continue
+		}
+		target := rng.Float64() * total
+		var cum float64
+		chosen := n - 1
+		for i, d := range dists {
+			cum += d
+			if cum >= target {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[chosen].Vector...))
+	}
+	return centroids
+}

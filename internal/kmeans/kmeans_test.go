@@ -1,0 +1,138 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func blobs(centers [][]float64, n int, sigma float64, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []stream.Point
+	for label, c := range centers {
+		for i := 0; i < n; i++ {
+			vec := make([]float64, len(c))
+			for d := range vec {
+				vec[d] = c[d] + rng.NormFloat64()*sigma
+			}
+			pts = append(pts, stream.Point{ID: int64(len(pts)), Vector: vec, Label: label})
+		}
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{K: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{K: 0}).Validate(); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	if _, err := Cluster(nil, Config{K: 1}); err == nil {
+		t.Error("empty input should be rejected")
+	}
+	pts := blobs([][]float64{{0, 0}}, 3, 0.1, 1)
+	if _, err := Cluster(pts, Config{K: 10}); err == nil {
+		t.Error("k larger than n should be rejected")
+	}
+	if _, err := Cluster([]stream.Point{{Tokens: distance.NewTokenSet("a")}}, Config{K: 1}); err == nil {
+		t.Error("text points should be rejected")
+	}
+}
+
+func TestThreeBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	pts := blobs(centers, 60, 0.6, 2)
+	res, err := Cluster(pts, Config{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("got %d centroids", len(res.Centroids))
+	}
+	// Every true center must be close to some centroid.
+	for _, c := range centers {
+		best := math.Inf(1)
+		for _, got := range res.Centroids {
+			if d := distance.Euclid(c, got); d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Errorf("no centroid near true center %v (nearest at distance %v)", c, best)
+		}
+	}
+	// Assignments are consistent with labels.
+	counts := map[int]map[int]int{}
+	for i, a := range res.Assignment {
+		if counts[a] == nil {
+			counts[a] = map[int]int{}
+		}
+		counts[a][pts[i].Label]++
+	}
+	for cluster, labelCounts := range counts {
+		best, total := 0, 0
+		for _, c := range labelCounts {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best) < 0.95*float64(total) {
+			t.Errorf("cluster %d impure: %v", cluster, labelCounts)
+		}
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia = %v, want positive", res.Inertia)
+	}
+	if res.Iterations < 1 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}}, 5, 1, 3)
+	res, err := Cluster(pts, Config{K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-6 {
+		// With k = n every point can have its own centroid; inertia
+		// should collapse to (nearly) zero.
+		t.Errorf("inertia with k=n should be ~0, got %v", res.Inertia)
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	var pts []stream.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, stream.Point{ID: int64(i), Vector: []float64{3, 3}})
+	}
+	res, err := Cluster(pts, Config{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points should have zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	pts := blobs([][]float64{{0, 0}, {6, 6}}, 40, 0.5, 5)
+	a, err := Cluster(pts, Config{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(pts, Config{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}

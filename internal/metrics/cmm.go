@@ -1,0 +1,262 @@
+// Package metrics provides the cluster-quality measures used in the
+// paper's evaluation: the stream-aware CMM (Cluster Mapping Measure,
+// Kremer et al., KDD 2011) that Sec. 6.4 relies on, plus the classic
+// external criteria (purity, pairwise F-measure, Rand index, NMI) as
+// secondary measures.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// CMMConfig configures the CMM computation.
+type CMMConfig struct {
+	// K is the number of neighbours used for the connectivity
+	// statistic (default 5).
+	K int
+	// Decay is the freshness model used to weight points; the paper
+	// evaluates CMM with the same decay model the algorithms use.
+	Decay stream.Decay
+	// Now is the evaluation time; point weights are their freshness at
+	// this time. If zero, the largest point timestamp is used.
+	Now float64
+}
+
+func (c *CMMConfig) defaults(points []stream.Point) {
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.Decay == (stream.Decay{}) {
+		c.Decay = stream.DefaultDecay()
+	}
+	if c.Now == 0 {
+		for _, p := range points {
+			if p.Time > c.Now {
+				c.Now = p.Time
+			}
+		}
+	}
+}
+
+// CMM computes the Cluster Mapping Measure of the clustering given by
+// assignment against the ground-truth labels carried by the points.
+// assignment[i] is the cluster id of points[i], with -1 meaning the
+// point was left unclustered (noise). Ground-truth noise is marked by
+// stream.NoLabel. The result is in [0, 1]; 1 means no faults.
+//
+// The implementation follows Kremer et al.: faults are missed points
+// (true class members left unclustered), misplaced points (members of a
+// cluster whose mapped class differs from the point's class) and noise
+// inclusion (true noise placed inside a cluster). Each fault is
+// penalized in proportion to the point's connectivity to the relevant
+// class and weighted by the point's freshness under the decay model.
+func CMM(points []stream.Point, assignment []int, cfg CMMConfig) (float64, error) {
+	if len(points) == 0 {
+		return 0, errors.New("metrics: CMM of an empty point set is undefined")
+	}
+	if len(points) != len(assignment) {
+		return 0, fmt.Errorf("metrics: %d points but %d assignments", len(points), len(assignment))
+	}
+	cfg.defaults(points)
+
+	// Group point indexes by ground-truth class (noise excluded).
+	byClass := map[int][]int{}
+	for i, p := range points {
+		if p.Label != stream.NoLabel {
+			byClass[p.Label] = append(byClass[p.Label], i)
+		}
+	}
+
+	conn := newConnectivity(points, byClass, cfg.K)
+
+	// Map each cluster to the ground-truth class with the largest
+	// freshness-weighted membership.
+	clusterClassWeight := map[int]map[int]float64{}
+	for i, p := range points {
+		cid := assignment[i]
+		if cid < 0 || p.Label == stream.NoLabel {
+			continue
+		}
+		if clusterClassWeight[cid] == nil {
+			clusterClassWeight[cid] = map[int]float64{}
+		}
+		clusterClassWeight[cid][p.Label] += cfg.Decay.Freshness(cfg.Now, p.Time)
+	}
+	clusterMap := map[int]int{}
+	for cid, classes := range clusterClassWeight {
+		best, bestW := stream.NoLabel, -1.0
+		// Deterministic tie-break: smallest class id wins.
+		ids := make([]int, 0, len(classes))
+		for cl := range classes {
+			ids = append(ids, cl)
+		}
+		sort.Ints(ids)
+		for _, cl := range ids {
+			if classes[cl] > bestW {
+				best, bestW = cl, classes[cl]
+			}
+		}
+		clusterMap[cid] = best
+	}
+
+	// Normalization term: the freshness-weighted connectivity of every
+	// object to its own class (noise objects count with connectivity 1,
+	// since the worst thing that can happen to them — being pulled deep
+	// into a cluster — carries penalty at most 1).
+	var penaltySum, connSum float64
+	for i, p := range points {
+		w := cfg.Decay.Freshness(cfg.Now, p.Time)
+		if p.Label == stream.NoLabel {
+			connSum += w
+		} else {
+			connSum += w * conn.con(i, p.Label)
+		}
+	}
+
+	anyFault := false
+	for i, p := range points {
+		w := cfg.Decay.Freshness(cfg.Now, p.Time)
+		cid := assignment[i]
+		switch {
+		case p.Label == stream.NoLabel && cid < 0:
+			// True noise left unclustered: not a fault.
+			continue
+		case p.Label == stream.NoLabel && cid >= 0:
+			// Noise inclusion: penalize by connectivity to the mapped
+			// class of the receiving cluster.
+			mapped, ok := clusterMap[cid]
+			if !ok || mapped == stream.NoLabel {
+				continue
+			}
+			penaltySum += w * conn.con(i, mapped)
+			anyFault = true
+		case cid < 0:
+			// Missed point: a class member left unclustered.
+			penaltySum += w * conn.con(i, p.Label)
+			anyFault = true
+		default:
+			mapped, ok := clusterMap[cid]
+			if !ok {
+				mapped = stream.NoLabel
+			}
+			if mapped == p.Label {
+				continue
+			}
+			// Misplaced point.
+			cOwn := conn.con(i, p.Label)
+			var cMapped float64
+			if mapped != stream.NoLabel {
+				cMapped = conn.con(i, mapped)
+			}
+			penaltySum += w * cOwn * (1 - cMapped)
+			anyFault = true
+		}
+	}
+
+	if !anyFault || connSum == 0 {
+		// No faults: perfect score.
+		return 1, nil
+	}
+	cmm := 1 - penaltySum/connSum
+	if cmm < 0 {
+		cmm = 0
+	}
+	if cmm > 1 {
+		cmm = 1
+	}
+	return cmm, nil
+}
+
+// connectivity precomputes the average k-NN distance of every class and
+// lazily evaluates point-to-class connectivities.
+type connectivity struct {
+	points  []stream.Point
+	byClass map[int][]int
+	k       int
+	// classKnn is the average over class members of their average
+	// distance to their k nearest neighbours within the class.
+	classKnn map[int]float64
+}
+
+func newConnectivity(points []stream.Point, byClass map[int][]int, k int) *connectivity {
+	c := &connectivity{points: points, byClass: byClass, k: k, classKnn: map[int]float64{}}
+	for class, members := range byClass {
+		if len(members) <= 1 {
+			c.classKnn[class] = 0
+			continue
+		}
+		// For large classes, sample members to keep CMM evaluation
+		// affordable inside the stream loop; the statistic is an
+		// average, so sampling preserves it.
+		sample := members
+		const maxSample = 200
+		if len(sample) > maxSample {
+			step := len(sample) / maxSample
+			reduced := make([]int, 0, maxSample)
+			for i := 0; i < len(sample); i += step {
+				reduced = append(reduced, sample[i])
+			}
+			sample = reduced
+		}
+		var sum float64
+		for _, idx := range sample {
+			sum += c.knnDist(idx, members)
+		}
+		c.classKnn[class] = sum / float64(len(sample))
+	}
+	return c
+}
+
+// knnDist returns the average distance from points[idx] to its k
+// nearest neighbours among members (excluding itself).
+func (c *connectivity) knnDist(idx int, members []int) float64 {
+	dists := make([]float64, 0, len(members))
+	for _, j := range members {
+		if j == idx {
+			continue
+		}
+		dists = append(dists, c.points[idx].Distance(c.points[j]))
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	sort.Float64s(dists)
+	k := c.k
+	if k > len(dists) {
+		k = len(dists)
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += dists[i]
+	}
+	return sum / float64(k)
+}
+
+// con returns the connectivity of points[idx] to the given class:
+// 1 when the point is at least as tightly embedded as an average class
+// member, decreasing toward 0 as the point sits farther from the class.
+func (c *connectivity) con(idx, class int) float64 {
+	members, ok := c.byClass[class]
+	if !ok || len(members) == 0 {
+		return 0
+	}
+	classAvg := c.classKnn[class]
+	pointKnn := c.knnDist(idx, members)
+	if pointKnn <= classAvg || pointKnn == 0 {
+		return 1
+	}
+	if math.IsInf(pointKnn, 0) {
+		return 0
+	}
+	if classAvg == 0 {
+		// Degenerate class (single point or duplicates): connectivity
+		// decays with the raw distance.
+		return 1 / (1 + pointKnn)
+	}
+	return classAvg / pointKnn
+}

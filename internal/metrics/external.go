@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// contingency builds the cluster-by-class contingency counts for a
+// clustering (assignment, -1 = unclustered) against ground-truth labels
+// (stream.NoLabel = noise). Unclustered points and noise points are
+// excluded, matching the usual convention for external criteria.
+func contingency(points []stream.Point, assignment []int) (table map[int]map[int]int, clusterSizes, classSizes map[int]int, n int, err error) {
+	if len(points) != len(assignment) {
+		return nil, nil, nil, 0, fmt.Errorf("metrics: %d points but %d assignments", len(points), len(assignment))
+	}
+	table = map[int]map[int]int{}
+	clusterSizes = map[int]int{}
+	classSizes = map[int]int{}
+	for i, p := range points {
+		cid := assignment[i]
+		if cid < 0 || p.Label == stream.NoLabel {
+			continue
+		}
+		if table[cid] == nil {
+			table[cid] = map[int]int{}
+		}
+		table[cid][p.Label]++
+		clusterSizes[cid]++
+		classSizes[p.Label]++
+		n++
+	}
+	return table, clusterSizes, classSizes, n, nil
+}
+
+// Purity returns the weighted average, over clusters, of the fraction
+// of each cluster's points belonging to its majority class.
+func Purity(points []stream.Point, assignment []int) (float64, error) {
+	table, _, _, n, err := contingency(points, assignment)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, errors.New("metrics: purity of an empty clustering is undefined")
+	}
+	var correct int
+	for _, classes := range table {
+		best := 0
+		for _, cnt := range classes {
+			if cnt > best {
+				best = cnt
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(n), nil
+}
+
+// PairCounts holds the pair-counting statistics behind the Rand index
+// and the pairwise F-measure.
+type PairCounts struct {
+	// TP: pairs in the same cluster and the same class.
+	TP float64
+	// FP: pairs in the same cluster but different classes.
+	FP float64
+	// FN: pairs in different clusters but the same class.
+	FN float64
+	// TN: pairs in different clusters and different classes.
+	TN float64
+}
+
+// Pairs computes the pair-counting statistics of the clustering.
+func Pairs(points []stream.Point, assignment []int) (PairCounts, error) {
+	table, clusterSizes, classSizes, n, err := contingency(points, assignment)
+	if err != nil {
+		return PairCounts{}, err
+	}
+	if n < 2 {
+		return PairCounts{}, errors.New("metrics: pair counting needs at least 2 clustered points")
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+
+	var sameBoth float64
+	for _, classes := range table {
+		for _, cnt := range classes {
+			sameBoth += choose2(cnt)
+		}
+	}
+	var sameCluster, sameClass float64
+	for _, s := range clusterSizes {
+		sameCluster += choose2(s)
+	}
+	for _, s := range classSizes {
+		sameClass += choose2(s)
+	}
+	total := choose2(n)
+	tp := sameBoth
+	fp := sameCluster - sameBoth
+	fn := sameClass - sameBoth
+	tn := total - tp - fp - fn
+	return PairCounts{TP: tp, FP: fp, FN: fn, TN: tn}, nil
+}
+
+// RandIndex returns (TP+TN)/(TP+FP+FN+TN).
+func RandIndex(points []stream.Point, assignment []int) (float64, error) {
+	pc, err := Pairs(points, assignment)
+	if err != nil {
+		return 0, err
+	}
+	total := pc.TP + pc.FP + pc.FN + pc.TN
+	if total == 0 {
+		return 0, errors.New("metrics: no pairs")
+	}
+	return (pc.TP + pc.TN) / total, nil
+}
+
+// FMeasure returns the pairwise F1 score (harmonic mean of pairwise
+// precision and recall).
+func FMeasure(points []stream.Point, assignment []int) (float64, error) {
+	pc, err := Pairs(points, assignment)
+	if err != nil {
+		return 0, err
+	}
+	if pc.TP == 0 {
+		return 0, nil
+	}
+	precision := pc.TP / (pc.TP + pc.FP)
+	recall := pc.TP / (pc.TP + pc.FN)
+	return 2 * precision * recall / (precision + recall), nil
+}
+
+// NMI returns the normalized mutual information between clustering and
+// ground truth, normalized by the arithmetic mean of the entropies.
+func NMI(points []stream.Point, assignment []int) (float64, error) {
+	table, clusterSizes, classSizes, n, err := contingency(points, assignment)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, errors.New("metrics: NMI of an empty clustering is undefined")
+	}
+	nf := float64(n)
+	var mi float64
+	for cid, classes := range table {
+		for class, cnt := range classes {
+			pij := float64(cnt) / nf
+			pi := float64(clusterSizes[cid]) / nf
+			pj := float64(classSizes[class]) / nf
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	entropy := func(sizes map[int]int) float64 {
+		var h float64
+		for _, s := range sizes {
+			p := float64(s) / nf
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	hc, hl := entropy(clusterSizes), entropy(classSizes)
+	if hc == 0 && hl == 0 {
+		return 1, nil
+	}
+	denom := (hc + hl) / 2
+	if denom == 0 {
+		return 0, nil
+	}
+	nmi := mi / denom
+	if nmi < 0 {
+		nmi = 0
+	}
+	if nmi > 1 {
+		nmi = 1
+	}
+	return nmi, nil
+}

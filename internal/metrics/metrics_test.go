@@ -1,0 +1,360 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// twoBlobs builds two well separated Gaussian blobs with ground truth
+// labels 0 and 1, n points each.
+func twoBlobs(n int, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]stream.Point, 0, 2*n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, stream.Point{
+			ID:     int64(len(pts)),
+			Vector: []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5},
+			Label:  0,
+			Time:   float64(len(pts)) / 1000,
+		})
+		pts = append(pts, stream.Point{
+			ID:     int64(len(pts)),
+			Vector: []float64{10 + rng.NormFloat64()*0.5, 10 + rng.NormFloat64()*0.5},
+			Label:  1,
+			Time:   float64(len(pts)) / 1000,
+		})
+	}
+	return pts
+}
+
+func perfectAssignment(pts []stream.Point) []int {
+	a := make([]int, len(pts))
+	for i, p := range pts {
+		a[i] = p.Label + 100 // cluster ids need not equal class ids
+	}
+	return a
+}
+
+func TestCMMPerfectClustering(t *testing.T) {
+	pts := twoBlobs(50, 1)
+	got, err := CMM(pts, perfectAssignment(pts), CMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("CMM of perfect clustering = %v, want 1", got)
+	}
+}
+
+func TestCMMAllMerged(t *testing.T) {
+	pts := twoBlobs(50, 2)
+	assignment := make([]int, len(pts))
+	for i := range assignment {
+		assignment[i] = 7 // everything in one cluster
+	}
+	got, err := CMM(pts, assignment, CMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 0.9 {
+		t.Errorf("CMM of fully merged clustering = %v, want clearly below a perfect score", got)
+	}
+	perfect, _ := CMM(pts, perfectAssignment(pts), CMMConfig{})
+	if got >= perfect {
+		t.Errorf("merged CMM %v should be below perfect CMM %v", got, perfect)
+	}
+}
+
+func TestCMMAllNoise(t *testing.T) {
+	pts := twoBlobs(30, 3)
+	assignment := make([]int, len(pts))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	got, err := CMM(pts, assignment, CMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.1 {
+		t.Errorf("CMM with every point missed = %v, want near 0", got)
+	}
+}
+
+func TestCMMNoiseInclusion(t *testing.T) {
+	pts := twoBlobs(40, 4)
+	// Add true-noise points scattered far away, then force them into
+	// cluster 0; this must lower CMM relative to leaving them out.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		pts = append(pts, stream.Point{
+			ID:     int64(len(pts)),
+			Vector: []float64{rng.Float64()*40 - 20, rng.Float64()*40 - 20},
+			Label:  stream.NoLabel,
+			Time:   float64(len(pts)) / 1000,
+		})
+	}
+	clean := make([]int, len(pts))
+	dirty := make([]int, len(pts))
+	for i, p := range pts {
+		if p.Label == stream.NoLabel {
+			clean[i] = -1
+			dirty[i] = 100 // shoved into the cluster mapped to class 0
+		} else {
+			clean[i] = p.Label + 100
+			dirty[i] = p.Label + 100
+		}
+	}
+	cmmClean, err := CMM(pts, clean, CMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmmDirty, err := CMM(pts, dirty, CMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmmClean != 1 {
+		t.Errorf("CMM with noise excluded = %v, want 1", cmmClean)
+	}
+	if !(cmmDirty < cmmClean) {
+		t.Errorf("noise inclusion should lower CMM: dirty %v, clean %v", cmmDirty, cmmClean)
+	}
+}
+
+func TestCMMMisplacedWorseThanPerfect(t *testing.T) {
+	pts := twoBlobs(50, 5)
+	misplaced := perfectAssignment(pts)
+	// Move 20% of class-0 points into the cluster mapped to class 1.
+	moved := 0
+	for i, p := range pts {
+		if p.Label == 0 && moved < 20 {
+			misplaced[i] = 1 + 100
+			moved++
+		}
+	}
+	cmmPerfect, _ := CMM(pts, perfectAssignment(pts), CMMConfig{})
+	cmmMisplaced, err := CMM(pts, misplaced, CMMConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cmmMisplaced < cmmPerfect) {
+		t.Errorf("misplacing points should lower CMM: %v vs %v", cmmMisplaced, cmmPerfect)
+	}
+}
+
+func TestCMMFreshnessWeighting(t *testing.T) {
+	// Misplacing stale points must hurt less than misplacing fresh
+	// points — that is the whole reason the paper uses CMM.
+	rng := rand.New(rand.NewSource(6))
+	var pts []stream.Point
+	n := 200
+	for i := 0; i < n; i++ {
+		label := i % 2
+		base := float64(label) * 10
+		pts = append(pts, stream.Point{
+			ID:     int64(i),
+			Vector: []float64{base + rng.NormFloat64()*0.5, base + rng.NormFloat64()*0.5},
+			Label:  label,
+			Time:   float64(i), // one point per second: early points are stale at evaluation time
+		})
+	}
+	mkAssign := func(misplaceOld bool) []int {
+		a := make([]int, len(pts))
+		misplaced := 0
+		for i, p := range pts {
+			a[i] = p.Label + 100
+		}
+		for i := range pts {
+			idx := i
+			if !misplaceOld {
+				idx = len(pts) - 1 - i
+			}
+			if pts[idx].Label == 0 && misplaced < 20 {
+				a[idx] = 1 + 100
+				misplaced++
+			}
+		}
+		return a
+	}
+	cfg := CMMConfig{Decay: stream.Decay{A: 0.9, Lambda: 1}, Now: float64(n)}
+	oldMisplaced, err := CMM(pts, mkAssign(true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshMisplaced, err := CMM(pts, mkAssign(false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(oldMisplaced > freshMisplaced) {
+		t.Errorf("misplacing stale points (CMM=%v) should hurt less than misplacing fresh points (CMM=%v)", oldMisplaced, freshMisplaced)
+	}
+}
+
+func TestCMMErrors(t *testing.T) {
+	if _, err := CMM(nil, nil, CMMConfig{}); err == nil {
+		t.Error("empty input should error")
+	}
+	pts := twoBlobs(5, 1)
+	if _, err := CMM(pts, []int{1, 2}, CMMConfig{}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+// Property: CMM is always within [0, 1] for random assignments.
+func TestCMMRangeQuick(t *testing.T) {
+	pts := twoBlobs(30, 7)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assignment := make([]int, len(pts))
+		for i := range assignment {
+			assignment[i] = rng.Intn(4) - 1
+		}
+		v, err := CMM(pts, assignment, CMMConfig{})
+		if err != nil {
+			return false
+		}
+		return v >= 0 && v <= 1 && !math.IsNaN(v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	pts := twoBlobs(50, 8)
+	p, err := Purity(pts, perfectAssignment(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("purity of perfect clustering = %v, want 1", p)
+	}
+	merged := make([]int, len(pts))
+	p, err = Purity(pts, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("purity of merged balanced clustering = %v, want 0.5", p)
+	}
+	if _, err := Purity(pts, make([]int, 3)); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	all := make([]int, len(pts))
+	for i := range all {
+		all[i] = -1
+	}
+	if _, err := Purity(pts, all); err == nil {
+		t.Error("purity with no clustered points should error")
+	}
+}
+
+func TestRandIndexAndFMeasure(t *testing.T) {
+	pts := twoBlobs(40, 9)
+	perfect := perfectAssignment(pts)
+	ri, err := RandIndex(pts, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("Rand index of perfect clustering = %v, want 1", ri)
+	}
+	f1, err := FMeasure(pts, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != 1 {
+		t.Errorf("F-measure of perfect clustering = %v, want 1", f1)
+	}
+	merged := make([]int, len(pts))
+	riM, _ := RandIndex(pts, merged)
+	f1M, _ := FMeasure(pts, merged)
+	if riM >= ri || f1M >= f1 {
+		t.Errorf("merged clustering should score lower: rand %v, f1 %v", riM, f1M)
+	}
+	// A clustering that puts each point alone: recall collapses, F1 low.
+	singletons := make([]int, len(pts))
+	for i := range singletons {
+		singletons[i] = i
+	}
+	f1S, err := FMeasure(pts, singletons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1S != 0 {
+		t.Errorf("F-measure of all-singleton clustering = %v, want 0", f1S)
+	}
+}
+
+func TestNMI(t *testing.T) {
+	pts := twoBlobs(40, 10)
+	perfect := perfectAssignment(pts)
+	nmi, err := NMI(pts, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi-1) > 1e-9 {
+		t.Errorf("NMI of perfect clustering = %v, want 1", nmi)
+	}
+	merged := make([]int, len(pts))
+	nmiM, err := NMI(pts, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmiM > 0.01 {
+		t.Errorf("NMI of merged clustering = %v, want ~0", nmiM)
+	}
+}
+
+// Property: Rand index, F-measure, purity and NMI stay within [0,1]
+// for arbitrary assignments.
+func TestExternalMetricRangesQuick(t *testing.T) {
+	pts := twoBlobs(25, 11)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assignment := make([]int, len(pts))
+		for i := range assignment {
+			assignment[i] = rng.Intn(5) - 1
+		}
+		check := func(v float64, err error) bool {
+			if err != nil {
+				// Degenerate assignments (e.g. everything noise) may
+				// legitimately error; that is not a range violation.
+				return true
+			}
+			return v >= 0 && v <= 1 && !math.IsNaN(v)
+		}
+		ok := true
+		v, err := Purity(pts, assignment)
+		ok = ok && check(v, err)
+		v, err = RandIndex(pts, assignment)
+		ok = ok && check(v, err)
+		v, err = FMeasure(pts, assignment)
+		ok = ok && check(v, err)
+		v, err = NMI(pts, assignment)
+		ok = ok && check(v, err)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairsConsistency(t *testing.T) {
+	pts := twoBlobs(20, 12)
+	pc, err := Pairs(pts, perfectAssignment(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(len(pts))
+	total := n * (n - 1) / 2
+	if got := pc.TP + pc.FP + pc.FN + pc.TN; math.Abs(got-total) > 1e-9 {
+		t.Errorf("pair counts sum to %v, want %v", got, total)
+	}
+	if pc.FP != 0 || pc.FN != 0 {
+		t.Errorf("perfect clustering should have FP=FN=0, got %+v", pc)
+	}
+}

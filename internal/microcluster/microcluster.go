@@ -1,0 +1,154 @@
+// Package microcluster provides the decayed cluster-feature (CF)
+// vector summaries used by the micro-cluster based stream clustering
+// baselines (DenStream and DBSTREAM). A micro-cluster maintains the
+// exponentially decayed weight, linear sum and squared sum of the
+// points it absorbed, from which its center and radius follow in O(d).
+package microcluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// MicroCluster is a decayed CF vector.
+type MicroCluster struct {
+	// ID identifies the micro-cluster.
+	ID int64
+	// Weight is the decayed number of points, as of LastUpdate.
+	Weight float64
+	// LS is the decayed per-dimension linear sum, as of LastUpdate.
+	LS []float64
+	// SS is the decayed sum of squared norms, as of LastUpdate.
+	SS float64
+	// LastUpdate is the time the decayed statistics refer to.
+	LastUpdate float64
+	// Created is the creation time (needed by DenStream's outlier
+	// pruning rule).
+	Created float64
+}
+
+// New creates a micro-cluster seeded by a single point.
+func New(id int64, p stream.Point) (*MicroCluster, error) {
+	if p.IsText() || len(p.Vector) == 0 {
+		return nil, fmt.Errorf("microcluster: point %d has no numeric vector", p.ID)
+	}
+	mc := &MicroCluster{
+		ID:         id,
+		Weight:     1,
+		LS:         append([]float64(nil), p.Vector...),
+		LastUpdate: p.Time,
+		Created:    p.Time,
+	}
+	mc.SS = sqNorm(p.Vector)
+	return mc, nil
+}
+
+func sqNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// DecayTo scales the statistics forward to time now.
+func (m *MicroCluster) DecayTo(now float64, d stream.Decay) {
+	if now <= m.LastUpdate {
+		return
+	}
+	f := d.Freshness(now, m.LastUpdate)
+	m.Weight *= f
+	m.SS *= f
+	for i := range m.LS {
+		m.LS[i] *= f
+	}
+	m.LastUpdate = now
+}
+
+// Insert folds a point arriving at time now into the micro-cluster.
+func (m *MicroCluster) Insert(p stream.Point, now float64, d stream.Decay) {
+	m.DecayTo(now, d)
+	m.Weight++
+	m.SS += sqNorm(p.Vector)
+	for i := range m.LS {
+		m.LS[i] += p.Vector[i]
+	}
+}
+
+// WeightAt returns the decayed weight at time now without mutating the
+// micro-cluster.
+func (m *MicroCluster) WeightAt(now float64, d stream.Decay) float64 {
+	return m.Weight * d.Freshness(now, m.LastUpdate)
+}
+
+// Center returns the weighted centroid.
+func (m *MicroCluster) Center() []float64 {
+	c := make([]float64, len(m.LS))
+	if m.Weight == 0 {
+		return c
+	}
+	for i, v := range m.LS {
+		c[i] = v / m.Weight
+	}
+	return c
+}
+
+// Radius returns the RMS deviation of the absorbed points from the
+// center (the usual micro-cluster radius definition). Numerical noise
+// is clamped to zero.
+func (m *MicroCluster) Radius() float64 {
+	if m.Weight == 0 {
+		return 0
+	}
+	center := m.Center()
+	variance := m.SS/m.Weight - sqNorm(center)
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance)
+}
+
+// DistanceToPoint returns the Euclidean distance from the center to p.
+func (m *MicroCluster) DistanceToPoint(p stream.Point) float64 {
+	var s float64
+	c := m.Center()
+	for i := range c {
+		d := c[i] - p.Vector[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DistanceToCenter returns the Euclidean distance between two
+// micro-cluster centers.
+func (m *MicroCluster) DistanceToCenter(o *MicroCluster) float64 {
+	a, b := m.Center(), o.Center()
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// RadiusIfInserted returns the radius the micro-cluster would have
+// after absorbing p at time now, without modifying the micro-cluster.
+// DenStream uses it to decide whether a point fits an existing
+// micro-cluster.
+func (m *MicroCluster) RadiusIfInserted(p stream.Point, now float64, d stream.Decay) float64 {
+	f := d.Freshness(now, m.LastUpdate)
+	w := m.Weight*f + 1
+	ss := m.SS*f + sqNorm(p.Vector)
+	var centerSq float64
+	for i := range m.LS {
+		c := (m.LS[i]*f + p.Vector[i]) / w
+		centerSq += c * c
+	}
+	variance := ss/w - centerSq
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance)
+}

@@ -1,0 +1,120 @@
+package microcluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func testDecay() stream.Decay { return stream.Decay{A: 0.998, Lambda: 1000} }
+
+func TestNewRejectsTextAndEmpty(t *testing.T) {
+	if _, err := New(1, stream.Point{Tokens: distance.NewTokenSet("a")}); err == nil {
+		t.Error("text point should be rejected")
+	}
+	if _, err := New(1, stream.Point{}); err == nil {
+		t.Error("empty point should be rejected")
+	}
+}
+
+func TestCenterAndRadius(t *testing.T) {
+	d := testDecay()
+	mc, err := New(1, stream.Point{Vector: []float64{0, 0}, Time: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert symmetric points around (1,1) at the same instant: center
+	// moves to the centroid, radius is the RMS deviation.
+	pts := [][]float64{{2, 0}, {0, 2}, {2, 2}}
+	for _, v := range pts {
+		mc.Insert(stream.Point{Vector: v, Time: 0}, 0, d)
+	}
+	center := mc.Center()
+	if math.Abs(center[0]-1) > 1e-9 || math.Abs(center[1]-1) > 1e-9 {
+		t.Errorf("center = %v, want (1,1)", center)
+	}
+	if r := mc.Radius(); math.Abs(r-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("radius = %v, want sqrt(2)", r)
+	}
+	if w := mc.WeightAt(0, d); math.Abs(w-4) > 1e-9 {
+		t.Errorf("weight = %v, want 4", w)
+	}
+}
+
+func TestDecayReducesWeightNotCenter(t *testing.T) {
+	d := testDecay()
+	mc, _ := New(1, stream.Point{Vector: []float64{3, 4}, Time: 0})
+	mc.Insert(stream.Point{Vector: []float64{5, 6}, Time: 0}, 0, d)
+	centerBefore := mc.Center()
+	wBefore := mc.WeightAt(0, d)
+	mc.DecayTo(2, d)
+	wAfter := mc.WeightAt(2, d)
+	if !(wAfter < wBefore) {
+		t.Errorf("weight did not decay: %v -> %v", wBefore, wAfter)
+	}
+	centerAfter := mc.Center()
+	for i := range centerBefore {
+		if math.Abs(centerBefore[i]-centerAfter[i]) > 1e-9 {
+			t.Errorf("decay moved the center: %v -> %v", centerBefore, centerAfter)
+		}
+	}
+	// Decay into the past is a no-op.
+	w := mc.Weight
+	mc.DecayTo(1, d)
+	if mc.Weight != w {
+		t.Error("decay into the past changed the weight")
+	}
+}
+
+func TestRadiusIfInserted(t *testing.T) {
+	d := testDecay()
+	mc, _ := New(1, stream.Point{Vector: []float64{0, 0}, Time: 0})
+	mc.Insert(stream.Point{Vector: []float64{0.2, 0}, Time: 0}, 0, d)
+	// The hypothetical radius must match the actual radius after the
+	// insertion, and the probe must not mutate the micro-cluster.
+	p := stream.Point{Vector: []float64{0.4, 0.2}, Time: 0}
+	want := mc.RadiusIfInserted(p, 0, d)
+	wBefore := mc.Weight
+	if mc.Weight != wBefore {
+		t.Fatal("RadiusIfInserted mutated the micro-cluster")
+	}
+	mc.Insert(p, 0, d)
+	if got := mc.Radius(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RadiusIfInserted = %v, actual radius after insert = %v", want, got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a, _ := New(1, stream.Point{Vector: []float64{0, 0}, Time: 0})
+	b, _ := New(2, stream.Point{Vector: []float64{3, 4}, Time: 0})
+	if got := a.DistanceToCenter(b); math.Abs(got-5) > 1e-9 {
+		t.Errorf("DistanceToCenter = %v, want 5", got)
+	}
+	if got := a.DistanceToPoint(stream.Point{Vector: []float64{0, 2}}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("DistanceToPoint = %v, want 2", got)
+	}
+}
+
+// Property: the radius is never negative and never NaN, even under
+// heavy decay (where the variance estimate can go slightly negative
+// numerically).
+func TestRadiusNonNegativeQuick(t *testing.T) {
+	d := testDecay()
+	prop := func(coords [6]int8, gap uint8) bool {
+		mc, err := New(1, stream.Point{Vector: []float64{float64(coords[0]), float64(coords[1])}, Time: 0})
+		if err != nil {
+			return false
+		}
+		mc.Insert(stream.Point{Vector: []float64{float64(coords[2]), float64(coords[3])}, Time: 0}, 0, d)
+		mc.Insert(stream.Point{Vector: []float64{float64(coords[4]), float64(coords[5])}, Time: 0}, 0, d)
+		mc.DecayTo(float64(gap)/10, d)
+		r := mc.Radius()
+		return r >= 0 && !math.IsNaN(r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package mrstream implements the MR-Stream baseline (Wan, Ng, Dang,
+// Yu, Zhang — ACM TKDD 2009) used for comparison in the paper's
+// evaluation: the data space is summarized at multiple resolutions by a
+// hierarchy of density grids (each level halves the cell size of the
+// level above), cells carry exponentially decayed densities, and the
+// offline phase clusters the cells of a chosen resolution by grouping
+// neighbouring dense cells. Only non-empty cells are materialized, but
+// maintaining every resolution level for every point is exactly what
+// makes MR-Stream the slowest of the baselines on high-dimensional
+// streams, as the paper observes.
+package mrstream
+
+import (
+	"fmt"
+
+	"github.com/densitymountain/edmstream/internal/grid"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// Config parameterizes MR-Stream.
+type Config struct {
+	// TopCellSize is the cell side length of the coarsest level.
+	// Required.
+	TopCellSize float64
+	// Levels is the number of resolution levels H (default 3). Level h
+	// has cell size TopCellSize / 2^h.
+	Levels int
+	// ClusterLevel is the resolution level the offline phase clusters
+	// at (default Levels-1, the finest level).
+	ClusterLevel int
+	// Cm is the dense-cell factor relative to the level's average
+	// occupied-cell density (default 0.5; see the D-Stream package for
+	// why this differs from the published absolute-threshold form).
+	Cm float64
+	// Decay is the freshness decay model (default a=0.998, λ=1000).
+	Decay stream.Decay
+	// PruneInterval is the stream-time interval between sporadic-cell
+	// removal passes (default 1.0 seconds).
+	PruneInterval float64
+	// SporadicDensity is the density below which a cell is removed
+	// during pruning (default 0.3).
+	SporadicDensity float64
+}
+
+func (c *Config) defaults() {
+	if c.Levels == 0 {
+		c.Levels = 3
+	}
+	if c.ClusterLevel == 0 {
+		c.ClusterLevel = c.Levels - 1
+	}
+	if c.Cm == 0 {
+		c.Cm = 0.5
+	}
+	if c.Decay == (stream.Decay{}) {
+		c.Decay = stream.Decay{A: 0.998, Lambda: 1000}
+	}
+	if c.PruneInterval == 0 {
+		c.PruneInterval = 1.0
+	}
+	if c.SporadicDensity == 0 {
+		c.SporadicDensity = 0.3
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	d := c
+	d.defaults()
+	if d.TopCellSize <= 0 {
+		return fmt.Errorf("mrstream: top cell size must be positive, got %v", c.TopCellSize)
+	}
+	if d.Levels < 1 {
+		return fmt.Errorf("mrstream: need at least one level, got %d", c.Levels)
+	}
+	if d.ClusterLevel < 0 || d.ClusterLevel >= d.Levels {
+		return fmt.Errorf("mrstream: cluster level %d outside [0,%d)", d.ClusterLevel, d.Levels)
+	}
+	if d.Cm <= 0 {
+		return fmt.Errorf("mrstream: Cm must be positive, got %v", c.Cm)
+	}
+	return d.Decay.Validate()
+}
+
+// MRStream is the algorithm state. It implements stream.Clusterer.
+type MRStream struct {
+	cfg       Config
+	levels    []*grid.Grid
+	now       float64
+	lastPrune float64
+}
+
+// New creates an MR-Stream instance.
+func New(cfg Config) (*MRStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	levels := make([]*grid.Grid, cfg.Levels)
+	size := cfg.TopCellSize
+	for h := 0; h < cfg.Levels; h++ {
+		g, err := grid.New(size, cfg.Decay)
+		if err != nil {
+			return nil, err
+		}
+		levels[h] = g
+		size /= 2
+	}
+	return &MRStream{cfg: cfg, levels: levels}, nil
+}
+
+// Name implements stream.Clusterer.
+func (m *MRStream) Name() string { return "MR-Stream" }
+
+// NumCells returns the total number of occupied cells across all
+// resolution levels.
+func (m *MRStream) NumCells() int {
+	total := 0
+	for _, g := range m.levels {
+		total += g.NumCells()
+	}
+	return total
+}
+
+// Insert implements stream.Clusterer: the point updates the cell that
+// contains it at every resolution level (the tree path from the root to
+// the finest cell).
+func (m *MRStream) Insert(p stream.Point) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.IsText() {
+		return fmt.Errorf("mrstream: text points are not supported")
+	}
+	if p.Time > m.now {
+		m.now = p.Time
+	}
+	for _, g := range m.levels {
+		g.Insert(p, m.now)
+	}
+	if m.now-m.lastPrune >= m.cfg.PruneInterval {
+		for _, g := range m.levels {
+			g.Prune(m.now, m.cfg.SporadicDensity)
+		}
+		m.lastPrune = m.now
+	}
+	return nil
+}
+
+// Clusters implements stream.Clusterer: the offline phase clusters the
+// configured resolution level by grouping neighbouring dense cells.
+func (m *MRStream) Clusters(now float64) []stream.MacroCluster {
+	if now > m.now {
+		m.now = now
+	}
+	now = m.now
+	g := m.levels[m.cfg.ClusterLevel]
+	cells := g.Cells()
+	if len(cells) == 0 {
+		return nil
+	}
+	avg := g.TotalDensity(now) / float64(len(cells))
+	threshold := m.cfg.Cm * avg
+
+	var dense []*grid.Cell
+	for _, c := range cells {
+		if c.DensityAt(now, m.cfg.Decay) >= threshold {
+			dense = append(dense, c)
+		}
+	}
+	if len(dense) == 0 {
+		return nil
+	}
+	comps := grid.ConnectedComponents(dense)
+	byCluster := map[int]*stream.MacroCluster{}
+	for i, c := range dense {
+		mc, ok := byCluster[comps[i]]
+		if !ok {
+			mc = &stream.MacroCluster{ID: comps[i] + 1}
+			byCluster[comps[i]] = mc
+		}
+		mc.Centers = append(mc.Centers, g.Center(c))
+		mc.Weight += c.DensityAt(now, m.cfg.Decay)
+	}
+	out := make([]stream.MacroCluster, 0, len(byCluster))
+	for _, mc := range byCluster {
+		out = append(out, *mc)
+	}
+	stream.SortClusters(out)
+	return out
+}

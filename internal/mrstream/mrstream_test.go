@@ -1,0 +1,158 @@
+package mrstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func twoBlobStream(n int, rate float64, seed int64) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}}
+	pts := make([]stream.Point, n)
+	for i := range pts {
+		k := i % 2
+		pts[i] = stream.Point{
+			ID:     int64(i),
+			Vector: []float64{centers[k][0] + rng.NormFloat64()*0.5, centers[k][1] + rng.NormFloat64()*0.5},
+			Label:  k,
+			Time:   float64(i) / rate,
+		}
+	}
+	return pts
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{TopCellSize: 4}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{},
+		{TopCellSize: -1},
+		{TopCellSize: 4, Levels: -1, ClusterLevel: 0},
+		{TopCellSize: 4, Levels: 2, ClusterLevel: 5},
+		{TopCellSize: 4, Cm: -1},
+		{TopCellSize: 4, Decay: stream.Decay{A: 3, Lambda: 1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ stream.Clusterer = (*MRStream)(nil)
+}
+
+func TestTwoBlobClustering(t *testing.T) {
+	m, err := New(Config{TopCellSize: 4, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "MR-Stream" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	pts := twoBlobStream(4000, 1000, 1)
+	for _, p := range pts {
+		if err := m.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.NumCells() == 0 {
+		t.Fatal("no cells were created")
+	}
+	clusters := m.Clusters(pts[len(pts)-1].Time)
+	if len(clusters) != 2 {
+		t.Fatalf("found %d clusters, want 2", len(clusters))
+	}
+	var near0, near10 bool
+	for _, c := range clusters {
+		for _, center := range c.Centers {
+			if distance.Euclid(center, []float64{0, 0}) < 3 {
+				near0 = true
+			}
+			if distance.Euclid(center, []float64{10, 10}) < 3 {
+				near10 = true
+			}
+		}
+	}
+	if !near0 || !near10 {
+		t.Errorf("clusters do not cover both blobs")
+	}
+}
+
+func TestMultiResolutionCellCounts(t *testing.T) {
+	// Finer levels must have at least as many occupied cells as coarser
+	// ones on a spread-out stream.
+	m, err := New(Config{TopCellSize: 8, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		p := stream.Point{ID: int64(i), Vector: []float64{rng.Float64() * 30, rng.Float64() * 30}, Time: float64(i) / 1000}
+		if err := m.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make([]int, len(m.levels))
+	for h, g := range m.levels {
+		counts[h] = g.NumCells()
+	}
+	for h := 1; h < len(counts); h++ {
+		if counts[h] < counts[h-1] {
+			t.Errorf("level %d has fewer cells (%d) than coarser level %d (%d)", h, counts[h], h-1, counts[h-1])
+		}
+	}
+}
+
+func TestClusterLevelSelection(t *testing.T) {
+	// Clustering at the coarsest level merges the two blobs placed one
+	// coarse cell apart, while the finest level separates them.
+	fine, err := New(Config{TopCellSize: 16, Levels: 4, ClusterLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := New(Config{TopCellSize: 16, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := twoBlobStream(4000, 1000, 3)
+	for _, p := range pts {
+		if err := fine.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := top.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := pts[len(pts)-1].Time
+	if got := len(fine.Clusters(now)); got != 2 {
+		t.Errorf("finest level found %d clusters, want 2", got)
+	}
+	if got := len(top.Clusters(now)); got > 1 {
+		// Blobs at (0,0) and (10,10) land in neighbouring 16-unit
+		// cells, so the coarse level cannot separate them.
+		t.Errorf("coarsest level found %d clusters, expected them merged", got)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	m, _ := New(Config{TopCellSize: 4})
+	if err := m.Insert(stream.Point{}); err == nil {
+		t.Error("invalid point accepted")
+	}
+	if err := m.Insert(stream.Point{Tokens: distance.NewTokenSet("a")}); err == nil {
+		t.Error("text point accepted")
+	}
+}
+
+func TestClustersOnEmptyState(t *testing.T) {
+	m, _ := New(Config{TopCellSize: 4})
+	if got := m.Clusters(0); got != nil {
+		t.Errorf("empty MR-Stream should report no clusters, got %v", got)
+	}
+}

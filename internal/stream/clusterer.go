@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"math"
+	"sort"
+)
+
+// MacroCluster is the common macro-level cluster representation every
+// algorithm in this repository can report: a cluster identifier plus
+// the set of representative centers that make up the cluster (cell
+// seeds for EDMStream, micro-cluster centers for DenStream/DBSTREAM,
+// grid centers for D-Stream/MR-Stream).
+type MacroCluster struct {
+	// ID identifies the cluster. EDMStream keeps IDs stable across
+	// updates so evolution can be tracked; baselines may renumber.
+	ID int
+	// Centers are the representative positions belonging to the
+	// cluster. Never empty.
+	Centers [][]float64
+	// Weight is the total (decayed) weight of the cluster.
+	Weight float64
+}
+
+// Clusterer is the minimal interface the evaluation harness drives.
+// All five stream clustering algorithms (EDMStream, DenStream,
+// D-Stream, DBSTREAM, MR-Stream) implement it.
+type Clusterer interface {
+	// Name returns the algorithm name used in reports.
+	Name() string
+	// Insert consumes the next stream point. An error indicates the
+	// point was rejected (e.g. malformed); the clusterer's state is
+	// unchanged in that case.
+	Insert(p Point) error
+	// Clusters returns the current macro-clusters at time now.
+	Clusters(now float64) []MacroCluster
+}
+
+// AssignToClusters maps each point to the macro-cluster with the
+// nearest center, returning a parallel slice of cluster IDs. Points
+// farther than maxDist from every center (when maxDist > 0) are
+// labeled as noise (-1). It is the shared offline assignment step used
+// to score every algorithm on an equal footing.
+func AssignToClusters(points []Point, clusters []MacroCluster, maxDist float64) []int {
+	out := make([]int, len(points))
+	for i, p := range points {
+		out[i] = assignOne(p, clusters, maxDist)
+	}
+	return out
+}
+
+func assignOne(p Point, clusters []MacroCluster, maxDist float64) int {
+	best := -1
+	bestDist := math.Inf(1)
+	for _, c := range clusters {
+		for _, center := range c.Centers {
+			if len(center) != len(p.Vector) {
+				continue
+			}
+			d := sqDist(p.Vector, center)
+			if d < bestDist {
+				bestDist = d
+				best = c.ID
+			}
+		}
+	}
+	if best == -1 {
+		return -1
+	}
+	if maxDist > 0 && math.Sqrt(bestDist) > maxDist {
+		return -1
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SortClusters orders clusters by ID so reports are deterministic.
+func SortClusters(cs []MacroCluster) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+}
+
+// TotalWeight sums the weights of all clusters.
+func TotalWeight(cs []MacroCluster) float64 {
+	var w float64
+	for _, c := range cs {
+		w += c.Weight
+	}
+	return w
+}

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes points to w in the layout produced by cmd/datagen:
+// one row per point, columns [time, label, x1..xd]. Text points are
+// not supported by the CSV layout and are rejected.
+func WriteCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	for _, p := range points {
+		if p.IsText() {
+			return fmt.Errorf("stream: point %d is a text point; CSV layout supports numeric points only", p.ID)
+		}
+		row := make([]string, 0, 2+len(p.Vector))
+		row = append(row, strconv.FormatFloat(p.Time, 'g', -1, 64))
+		row = append(row, strconv.Itoa(p.Label))
+		for _, v := range p.Vector {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("stream: writing CSV row for point %d: %w", p.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses points from r in the layout written by WriteCSV.
+// Point IDs are assigned sequentially in row order.
+func ReadCSV(r io.Reader) ([]Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var points []Point
+	rowNum := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: reading CSV row %d: %w", rowNum, err)
+		}
+		if len(row) < 3 {
+			return nil, fmt.Errorf("stream: CSV row %d has %d columns, need at least 3 (time, label, x1)", rowNum, len(row))
+		}
+		t, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: CSV row %d: bad time %q: %w", rowNum, row[0], err)
+		}
+		label, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("stream: CSV row %d: bad label %q: %w", rowNum, row[1], err)
+		}
+		vec := make([]float64, len(row)-2)
+		for i, s := range row[2:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: CSV row %d: bad coordinate %d %q: %w", rowNum, i, s, err)
+			}
+			vec[i] = v
+		}
+		p := Point{ID: int64(rowNum), Time: t, Label: label, Vector: vec}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+		rowNum++
+	}
+	return points, nil
+}

@@ -1,0 +1,92 @@
+// Package stream provides the data-stream abstractions shared by every
+// clustering algorithm in this repository: timestamped points, the
+// exponential decay model of Sec. 3.1, stream sources with
+// rate-controlled timestamping, and the common Clusterer interface the
+// evaluation harness drives.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+)
+
+// NoLabel marks a point without ground-truth class information.
+const NoLabel = -1
+
+// Point is a single element of a data stream (Sec. 3.1): a
+// d-dimensional attribute vector together with its arrival timestamp.
+// For text streams (the news use case of Sec. 6.2.2) the vector is
+// empty and Tokens carries the term set instead.
+type Point struct {
+	// ID is a unique, monotonically increasing identifier assigned by
+	// the stream source.
+	ID int64
+	// Vector is the d-dimensional attribute vector. Nil for text points.
+	Vector []float64
+	// Tokens is the term set of a text point. Nil for numeric points.
+	Tokens distance.TokenSet
+	// Label is the ground-truth class used only for evaluation
+	// (CMM, purity). NoLabel if unknown.
+	Label int
+	// Time is the arrival timestamp in seconds (logical stream time).
+	Time float64
+}
+
+// IsText reports whether the point carries a token set instead of a
+// numeric vector.
+func (p Point) IsText() bool { return p.Tokens != nil }
+
+// Dim returns the dimensionality of the point's vector (0 for text
+// points).
+func (p Point) Dim() int { return len(p.Vector) }
+
+// Validate checks that the point is well formed: it must carry either
+// a finite numeric vector or a non-nil token set, and a finite,
+// non-negative timestamp.
+func (p Point) Validate() error {
+	if p.Vector == nil && p.Tokens == nil {
+		return errors.New("stream: point has neither vector nor tokens")
+	}
+	if p.Vector != nil && p.Tokens != nil {
+		return errors.New("stream: point has both vector and tokens")
+	}
+	for i, v := range p.Vector {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stream: point %d has non-finite coordinate %d (%v)", p.ID, i, v)
+		}
+	}
+	if math.IsNaN(p.Time) || math.IsInf(p.Time, 0) || p.Time < 0 {
+		return fmt.Errorf("stream: point %d has invalid timestamp %v", p.ID, p.Time)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the point.
+func (p Point) Clone() Point {
+	q := p
+	if p.Vector != nil {
+		q.Vector = append([]float64(nil), p.Vector...)
+	}
+	if p.Tokens != nil {
+		q.Tokens = p.Tokens.Clone()
+	}
+	return q
+}
+
+// Distance returns the distance between two points: Euclidean for
+// numeric points and Jaccard for text points. Mixing a numeric and a
+// text point returns +Inf, which keeps them maximally separated
+// without panicking on malformed streams.
+func (p Point) Distance(q Point) float64 {
+	switch {
+	case p.IsText() && q.IsText():
+		return distance.Jaccard(p.Tokens, q.Tokens)
+	case !p.IsText() && !q.IsText():
+		return distance.Euclid(p.Vector, q.Vector)
+	default:
+		return math.Inf(1)
+	}
+}

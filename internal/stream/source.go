@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Source produces the points of a data stream in arrival order.
+// Implementations are not required to be safe for concurrent use.
+type Source interface {
+	// Next returns the next point and true, or a zero Point and false
+	// when the stream is exhausted.
+	Next() (Point, bool)
+}
+
+// Sized is implemented by sources that know how many points they will
+// emit in total.
+type Sized interface {
+	// Len returns the total number of points the source will emit.
+	Len() int
+}
+
+// SliceSource replays a fixed slice of points. It implements Source
+// and Sized.
+type SliceSource struct {
+	points []Point
+	next   int
+}
+
+// NewSliceSource returns a Source that yields the given points in
+// order. The slice is not copied; callers must not mutate it while the
+// source is in use.
+func NewSliceSource(points []Point) *SliceSource {
+	return &SliceSource{points: points}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Point, bool) {
+	if s.next >= len(s.points) {
+		return Point{}, false
+	}
+	p := s.points[s.next]
+	s.next++
+	return p, true
+}
+
+// Len implements Sized.
+func (s *SliceSource) Len() int { return len(s.points) }
+
+// Reset rewinds the source to the beginning of the slice.
+func (s *SliceSource) Reset() { s.next = 0 }
+
+// RateStamper wraps a Source and overwrites each point's ID and Time so
+// that points arrive at a fixed rate of v points per second starting at
+// startTime (the paper fixes v = 1000 pt/s unless stated otherwise,
+// Sec. 6.1). Point i (0-based) is stamped with t = startTime + i/v.
+type RateStamper struct {
+	src   Source
+	rate  float64
+	start float64
+	count int64
+}
+
+// NewRateStamper wraps src with fixed-rate timestamps. rate must be
+// positive.
+func NewRateStamper(src Source, rate, startTime float64) (*RateStamper, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("stream: rate %v must be positive", rate)
+	}
+	if src == nil {
+		return nil, errors.New("stream: nil source")
+	}
+	return &RateStamper{src: src, rate: rate, start: startTime}, nil
+}
+
+// Rate returns the configured arrival rate in points per second.
+func (r *RateStamper) Rate() float64 { return r.rate }
+
+// Next implements Source.
+func (r *RateStamper) Next() (Point, bool) {
+	p, ok := r.src.Next()
+	if !ok {
+		return Point{}, false
+	}
+	p.ID = r.count
+	p.Time = r.start + float64(r.count)/r.rate
+	r.count++
+	return p, true
+}
+
+// Len implements Sized when the underlying source does.
+func (r *RateStamper) Len() int {
+	if s, ok := r.src.(Sized); ok {
+		return s.Len()
+	}
+	return 0
+}
+
+// Collect drains up to max points from the source (all points if max
+// <= 0) and returns them as a slice.
+func Collect(src Source, max int) []Point {
+	var out []Point
+	if s, ok := src.(Sized); ok && s.Len() > 0 {
+		n := s.Len()
+		if max > 0 && max < n {
+			n = max
+		}
+		out = make([]Point, 0, n)
+	}
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		p, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// Window is a sliding horizon of the most recent points, used by the
+// evaluation harness to compute cluster quality (CMM) over the recent
+// past, as is standard for stream clustering evaluation.
+type Window struct {
+	capacity int
+	points   []Point
+}
+
+// NewWindow returns a window holding at most capacity points.
+// capacity must be positive.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Window{capacity: capacity}
+}
+
+// Add appends a point, evicting the oldest if the window is full.
+func (w *Window) Add(p Point) {
+	if len(w.points) == w.capacity {
+		copy(w.points, w.points[1:])
+		w.points[len(w.points)-1] = p
+		return
+	}
+	w.points = append(w.points, p)
+}
+
+// Points returns the points currently in the window, oldest first. The
+// returned slice is owned by the window and must not be modified.
+func (w *Window) Points() []Point { return w.points }
+
+// Len returns the number of points currently held.
+func (w *Window) Len() int { return len(w.points) }
+
+// Capacity returns the maximum number of points the window holds.
+func (w *Window) Capacity() int { return w.capacity }

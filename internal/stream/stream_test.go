@@ -1,0 +1,367 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+)
+
+func TestPointValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Point
+		wantErr bool
+	}{
+		{"valid numeric", Point{Vector: []float64{1, 2}, Time: 0}, false},
+		{"valid text", Point{Tokens: distance.NewTokenSet("a"), Time: 1}, false},
+		{"neither", Point{Time: 0}, true},
+		{"both", Point{Vector: []float64{1}, Tokens: distance.NewTokenSet("a")}, true},
+		{"nan coord", Point{Vector: []float64{math.NaN()}}, true},
+		{"inf coord", Point{Vector: []float64{math.Inf(1)}}, true},
+		{"negative time", Point{Vector: []float64{1}, Time: -1}, true},
+		{"nan time", Point{Vector: []float64{1}, Time: math.NaN()}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPointCloneIndependence(t *testing.T) {
+	p := Point{ID: 7, Vector: []float64{1, 2, 3}, Label: 2, Time: 1.5}
+	q := p.Clone()
+	q.Vector[0] = 99
+	if p.Vector[0] == 99 {
+		t.Error("Clone shares the vector backing array")
+	}
+	tp := Point{Tokens: distance.NewTokenSet("a", "b")}
+	tq := tp.Clone()
+	tq.Tokens.Add("c")
+	if tp.Tokens.Contains("c") {
+		t.Error("Clone shares the token set")
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	a := Point{Vector: []float64{0, 0}}
+	b := Point{Vector: []float64{3, 4}}
+	if got := a.Distance(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("numeric Distance = %v, want 5", got)
+	}
+	ta := Point{Tokens: distance.NewTokenSet("x", "y")}
+	tb := Point{Tokens: distance.NewTokenSet("y", "z")}
+	if got := ta.Distance(tb); math.Abs(got-(1-1.0/3.0)) > 1e-12 {
+		t.Errorf("text Distance = %v, want 2/3", got)
+	}
+	if got := a.Distance(ta); !math.IsInf(got, 1) {
+		t.Errorf("mixed Distance = %v, want +Inf", got)
+	}
+}
+
+func TestDecayValidate(t *testing.T) {
+	if err := DefaultDecay().Validate(); err != nil {
+		t.Fatalf("default decay invalid: %v", err)
+	}
+	bad := []Decay{{A: 0, Lambda: 1}, {A: 1, Lambda: 1}, {A: 1.5, Lambda: 1}, {A: 0.5, Lambda: 0}, {A: 0.5, Lambda: -1}, {A: 0.5, Lambda: math.NaN()}}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("Validate(%+v): expected error", d)
+		}
+	}
+}
+
+func TestDecayFreshness(t *testing.T) {
+	d := DefaultDecay()
+	if got := d.Freshness(10, 10); got != 1 {
+		t.Errorf("Freshness(now=then) = %v, want 1", got)
+	}
+	if got := d.Freshness(5, 10); got != 1 {
+		t.Errorf("Freshness(now<then) = %v, want 1 (clamped)", got)
+	}
+	// One second of decay at a=0.998, λ=1 should give 0.998.
+	if got := d.Freshness(11, 10); math.Abs(got-0.998) > 1e-12 {
+		t.Errorf("Freshness after 1s = %v, want 0.998", got)
+	}
+	// Freshness decreases monotonically with age.
+	prev := 1.0
+	for age := 1.0; age <= 100; age++ {
+		f := d.Freshness(age, 0)
+		if f >= prev {
+			t.Fatalf("freshness not strictly decreasing at age %v: %v >= %v", age, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestDecayWindowSumAndThreshold(t *testing.T) {
+	d := DefaultDecay()
+	v := 1000.0
+	// v/(1-a^λ) = 1000/0.002 = 500000.
+	if got := d.WindowSum(v); math.Abs(got-500000) > 1e-6 {
+		t.Errorf("WindowSum = %v, want 500000", got)
+	}
+	// The exact steady-state weight agrees with the paper's
+	// approximation to within 0.1% for the nominal parameters.
+	if got := d.SteadyStateWeight(v); math.Abs(got-500000)/500000 > 1e-3 {
+		t.Errorf("SteadyStateWeight = %v, want ~500000", got)
+	}
+	beta := 0.0021
+	want := beta * d.SteadyStateWeight(v)
+	if got := d.ActiveThreshold(beta, v); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ActiveThreshold = %v, want %v", got, want)
+	}
+	if math.Abs(want-1050)/1050 > 1e-3 {
+		t.Errorf("nominal active threshold = %v, want ~1050 (the paper's value)", want)
+	}
+	lo, hi := d.BetaRange(v)
+	if !(lo < beta && beta < hi) {
+		t.Errorf("paper's beta=0.0021 not in legal range (%v, %v)", lo, hi)
+	}
+	// The threshold is (nearly) independent of the rate when expressed
+	// as a fraction of the steady-state weight under per-point decay.
+	fast := Decay{A: 0.998, Lambda: 1000}
+	t1 := fast.ActiveThreshold(beta, 1000)
+	fast10 := Decay{A: 0.998, Lambda: 10000}
+	t10 := fast10.ActiveThreshold(beta, 10000)
+	if math.Abs(t1-t10)/t1 > 1e-6 {
+		t.Errorf("per-point-equivalent thresholds differ across rates: %v vs %v", t1, t10)
+	}
+}
+
+func TestDecayDeleteDelayAndReservoirBound(t *testing.T) {
+	d := DefaultDecay()
+	v, beta := 1000.0, 0.0021
+	dt := d.DeleteDelay(beta, v)
+	if dt <= 0 || math.IsInf(dt, 0) || math.IsNaN(dt) {
+		t.Fatalf("DeleteDelay = %v, want positive finite", dt)
+	}
+	// Verify Theorem 3 numerically: after ΔTdel seconds of decay, a
+	// cell that started exactly at the active threshold has density
+	// below 1 and can be deleted safely.
+	start := d.ActiveThreshold(beta, v)
+	decayed := d.Scale(start, dt, 0)
+	if decayed >= 1+1e-9 {
+		t.Errorf("after ΔTdel=%v the threshold density decays to %v, want < 1", dt, decayed)
+	}
+	bound := d.ReservoirBound(beta, v)
+	if bound < dt*v {
+		t.Errorf("ReservoirBound = %v smaller than ΔTdel·v = %v", bound, dt*v)
+	}
+}
+
+// Property: uniform decay preserves the density order of any two
+// values — the premise behind Theorem 1 (density filter).
+func TestDecayOrderPreservationQuick(t *testing.T) {
+	d := DefaultDecay()
+	prop := func(r1, r2 float64, dtU uint16) bool {
+		rho1 := math.Abs(r1)
+		rho2 := math.Abs(r2)
+		if math.IsInf(rho1, 0) || math.IsInf(rho2, 0) || math.IsNaN(rho1) || math.IsNaN(rho2) {
+			return true
+		}
+		dt := float64(dtU%1000) / 10
+		s1 := d.Scale(rho1, dt, 0)
+		s2 := d.Scale(rho2, dt, 0)
+		if rho1 < rho2 {
+			return s1 <= s2
+		}
+		if rho1 > rho2 {
+			return s1 >= s2
+		}
+		return s1 == s2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Scale is multiplicative over consecutive intervals, which
+// is what makes lazy density updates (Eq. 8) exact.
+func TestDecayScaleCompositionQuick(t *testing.T) {
+	d := DefaultDecay()
+	prop := func(rhoU uint16, aU, bU uint8) bool {
+		rho := float64(rhoU) / 100
+		t1 := float64(aU) / 10
+		t2 := t1 + float64(bU)/10
+		direct := d.Scale(rho, t2, 0)
+		twoStep := d.Scale(d.Scale(rho, t1, 0), t2, t1)
+		return math.Abs(direct-twoStep) < 1e-9*(1+direct)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceSourceAndRateStamper(t *testing.T) {
+	pts := make([]Point, 10)
+	for i := range pts {
+		pts[i] = Point{Vector: []float64{float64(i)}, Label: i % 2}
+	}
+	src := NewSliceSource(pts)
+	if src.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", src.Len())
+	}
+	rs, err := NewRateStamper(src, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(rs, 0)
+	if len(got) != 10 {
+		t.Fatalf("collected %d points, want 10", len(got))
+	}
+	for i, p := range got {
+		wantT := float64(i) / 1000
+		if math.Abs(p.Time-wantT) > 1e-12 {
+			t.Errorf("point %d time = %v, want %v", i, p.Time, wantT)
+		}
+		if p.ID != int64(i) {
+			t.Errorf("point %d ID = %d, want %d", i, p.ID, i)
+		}
+	}
+	// Exhausted source returns false.
+	if _, ok := rs.Next(); ok {
+		t.Error("expected exhausted source")
+	}
+	// Invalid rates are rejected.
+	if _, err := NewRateStamper(NewSliceSource(pts), 0, 0); err == nil {
+		t.Error("rate 0 should be rejected")
+	}
+	if _, err := NewRateStamper(nil, 1, 0); err == nil {
+		t.Error("nil source should be rejected")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{Vector: []float64{float64(i)}}
+	}
+	got := Collect(NewSliceSource(pts), 7)
+	if len(got) != 7 {
+		t.Errorf("Collect(max=7) returned %d points", len(got))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := NewWindow(3)
+	for i := 0; i < 5; i++ {
+		w.Add(Point{ID: int64(i), Vector: []float64{float64(i)}})
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	pts := w.Points()
+	for i, want := range []int64{2, 3, 4} {
+		if pts[i].ID != want {
+			t.Errorf("window[%d].ID = %d, want %d", i, pts[i].ID, want)
+		}
+	}
+	if w.Capacity() != 3 {
+		t.Errorf("Capacity = %d, want 3", w.Capacity())
+	}
+	// Degenerate capacity is clamped to 1.
+	w2 := NewWindow(0)
+	w2.Add(Point{Vector: []float64{1}})
+	w2.Add(Point{Vector: []float64{2}})
+	if w2.Len() != 1 {
+		t.Errorf("zero-capacity window Len = %d, want 1", w2.Len())
+	}
+}
+
+func TestAssignToClusters(t *testing.T) {
+	clusters := []MacroCluster{
+		{ID: 1, Centers: [][]float64{{0, 0}, {1, 0}}, Weight: 2},
+		{ID: 2, Centers: [][]float64{{10, 10}}, Weight: 1},
+	}
+	points := []Point{
+		{Vector: []float64{0.2, 0.1}},
+		{Vector: []float64{9.5, 10.2}},
+		{Vector: []float64{100, 100}},
+	}
+	got := AssignToClusters(points, clusters, 0)
+	want := []int{1, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("assignment[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// With a maximum distance, the far point becomes noise.
+	got = AssignToClusters(points, clusters, 5)
+	if got[2] != -1 {
+		t.Errorf("far point assignment = %d, want -1 (noise)", got[2])
+	}
+	// No clusters at all: everything is noise.
+	got = AssignToClusters(points, nil, 0)
+	for i, g := range got {
+		if g != -1 {
+			t.Errorf("assignment[%d] with no clusters = %d, want -1", i, g)
+		}
+	}
+}
+
+func TestSortClustersAndTotalWeight(t *testing.T) {
+	cs := []MacroCluster{{ID: 3, Weight: 1}, {ID: 1, Weight: 2}, {ID: 2, Weight: 3}}
+	SortClusters(cs)
+	for i, want := range []int{1, 2, 3} {
+		if cs[i].ID != want {
+			t.Errorf("sorted[%d].ID = %d, want %d", i, cs[i].ID, want)
+		}
+	}
+	if got := TotalWeight(cs); math.Abs(got-6) > 1e-12 {
+		t.Errorf("TotalWeight = %v, want 6", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := []Point{
+		{ID: 0, Time: 0, Label: 1, Vector: []float64{1.5, -2.25}},
+		{ID: 1, Time: 0.001, Label: NoLabel, Vector: []float64{3, 4}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i].Label != pts[i].Label || math.Abs(got[i].Time-pts[i].Time) > 1e-12 {
+			t.Errorf("row %d mismatch: got %+v want %+v", i, got[i], pts[i])
+		}
+		for j := range pts[i].Vector {
+			if got[i].Vector[j] != pts[i].Vector[j] {
+				t.Errorf("row %d coord %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Point{{Tokens: distance.NewTokenSet("a")}}); err == nil {
+		t.Error("text point should not be writable to CSV")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1.0,notalabel,2.0\n")); err == nil {
+		t.Error("bad label should be rejected")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1.0,1\n")); err == nil {
+		t.Error("row without coordinates should be rejected")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("x,1,2.0\n")); err == nil {
+		t.Error("bad time should be rejected")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1.0,1,zz\n")); err == nil {
+		t.Error("bad coordinate should be rejected")
+	}
+}

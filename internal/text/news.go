@@ -1,0 +1,271 @@
+// Package text provides the synthetic news stream that stands in for
+// the NADS dataset of the paper's news-recommendation use case
+// (Sec. 6.2.2, Fig. 8, Table 3). Documents are small term sets compared
+// with the Jaccard distance; topics have scripted popularity schedules
+// so that the same kinds of cluster evolution the paper reports
+// (Chromecast news merging into the wearables topic, the smartwatch
+// topic splitting out of wearables, Apple-vs-Samsung splitting from the
+// iPhone 5c topic, the Microsoft mobile-suite topic merging into the
+// Nokia-acquisition topic) happen at known points of the stream.
+package text
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// Topic is a news topic: a label, the tag terms that identify it (the
+// analogue of the cluster tags shown in Fig. 8), and a broader
+// vocabulary its documents draw filler terms from.
+type Topic struct {
+	// Name identifies the topic in reports.
+	Name string
+	// Tags are the high-frequency terms every document of the topic
+	// contains with high probability.
+	Tags []string
+	// Vocabulary is the pool of additional terms documents sample from.
+	Vocabulary []string
+	// Popularity maps a stream fraction in [0,1] to the topic's
+	// relative popularity (>= 0). Topics with zero popularity emit no
+	// documents at that point of the stream.
+	Popularity func(frac float64) float64
+}
+
+// NewsEventKind names the scripted evolution activities in the news
+// stream.
+type NewsEventKind string
+
+// Scripted news-stream evolution activities (Table 3 analogues).
+const (
+	NewsMerge NewsEventKind = "merge"
+	NewsSplit NewsEventKind = "split"
+)
+
+// NewsEvent is one scripted topic evolution, expressed against stream
+// fractions like gen.SDSEvent.
+type NewsEvent struct {
+	Kind     NewsEventKind
+	Fraction float64
+	// Topics names the topics involved (source topics for a merge,
+	// original topic and breakaway topic for a split).
+	Topics []string
+}
+
+// NewsConfig parameterizes the news stream generator.
+type NewsConfig struct {
+	// N is the number of documents (the real NADS has 422,937; tests
+	// and benches use a scaled-down stream).
+	N int
+	// Seed seeds the deterministic random generator.
+	Seed int64
+	// TermsPerDoc is the number of terms per document in addition to
+	// the topic tags (default 6).
+	TermsPerDoc int
+	// NoiseFraction is the fraction of documents made of random terms
+	// only (default 0.02).
+	NoiseFraction float64
+}
+
+func (c *NewsConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 422937
+	}
+	if c.TermsPerDoc <= 0 {
+		c.TermsPerDoc = 6
+	}
+	if c.NoiseFraction <= 0 {
+		c.NoiseFraction = 0.02
+	}
+}
+
+// window returns a popularity function that is `level` inside
+// [from,to) and 0 elsewhere.
+func window(from, to, level float64) func(float64) float64 {
+	return func(f float64) float64 {
+		if f >= from && f < to {
+			return level
+		}
+		return 0
+	}
+}
+
+// ramp returns a popularity function that rises linearly from 0 at
+// `from` to `level` at `to`, staying at `level` afterwards until `end`.
+func ramp(from, to, end, level float64) func(float64) float64 {
+	return func(f float64) float64 {
+		switch {
+		case f < from || f >= end:
+			return 0
+		case f < to:
+			return level * (f - from) / (to - from)
+		default:
+			return level
+		}
+	}
+}
+
+// fade returns a popularity function at `level` from `from`, decaying
+// linearly to 0 between `to` and `end`.
+func fade(from, to, end, level float64) func(float64) float64 {
+	return func(f float64) float64 {
+		switch {
+		case f < from || f >= end:
+			return 0
+		case f < to:
+			return level
+		default:
+			return level * (1 - (f-to)/(end-to))
+		}
+	}
+}
+
+// DefaultTopics returns the scripted topic set mirroring Fig. 8 /
+// Table 3. Fractions: the Chromecast topic fades into the wearables
+// topic around 0.25 (its tags converge on the wearable tags), the
+// smartwatch topic splits out of wearables at 0.45, the Apple-Samsung
+// patent topic splits from the iPhone 5c topic at 0.65, and the
+// Microsoft mobile-suite topic merges into the Nokia topic at 0.85.
+func DefaultTopics() []Topic {
+	vocabTech := []string{"launch", "update", "market", "device", "report", "release", "ces", "review", "rumor", "sales", "app", "cloud", "platform", "developer", "conference"}
+	return []Topic{
+		{
+			Name:       "google-chromecast",
+			Tags:       []string{"google", "chromecast", "tv"},
+			Vocabulary: vocabTech,
+			Popularity: fade(0, 0.15, 0.25, 1.0),
+		},
+		{
+			Name:       "google-wearable",
+			Tags:       []string{"google", "wearable", "sdk"},
+			Vocabulary: vocabTech,
+			Popularity: fade(0.05, 0.70, 0.80, 1.2),
+		},
+		{
+			Name:       "google-smartwatch",
+			Tags:       []string{"google", "smartwatch", "android", "wear"},
+			Vocabulary: vocabTech,
+			Popularity: ramp(0.45, 0.55, 1.0, 1.2),
+		},
+		{
+			Name:       "apple-5c",
+			Tags:       []string{"apple", "iphone", "5c"},
+			Vocabulary: vocabTech,
+			Popularity: fade(0, 0.70, 0.85, 1.0),
+		},
+		{
+			Name:       "apple-samsung",
+			Tags:       []string{"apple", "samsung", "patent", "court"},
+			Vocabulary: vocabTech,
+			Popularity: ramp(0.65, 0.75, 1.0, 1.1),
+		},
+		{
+			Name:       "ms-mobile-suit",
+			Tags:       []string{"microsoft", "mobile", "office", "suite"},
+			Vocabulary: vocabTech,
+			Popularity: fade(0.40, 0.80, 0.88, 0.9),
+		},
+		{
+			Name:       "ms-nokia",
+			Tags:       []string{"microsoft", "nokia", "acquisition", "phones"},
+			Vocabulary: vocabTech,
+			Popularity: ramp(0.55, 0.65, 1.0, 1.1),
+		},
+	}
+}
+
+// NewsEvents returns the scripted evolution schedule for the default
+// topics.
+func NewsEvents() []NewsEvent {
+	return []NewsEvent{
+		{Kind: NewsMerge, Fraction: 0.25, Topics: []string{"google-chromecast", "google-wearable"}},
+		{Kind: NewsSplit, Fraction: 0.45, Topics: []string{"google-wearable", "google-smartwatch"}},
+		{Kind: NewsSplit, Fraction: 0.65, Topics: []string{"apple-5c", "apple-samsung"}},
+		{Kind: NewsMerge, Fraction: 0.85, Topics: []string{"ms-mobile-suit", "ms-nokia"}},
+	}
+}
+
+// NewsStream generates a synthetic news document stream over the given
+// topics (DefaultTopics if nil). Ground-truth label i refers to
+// topics[i]; noise documents carry stream.NoLabel.
+func NewsStream(cfg NewsConfig, topics []Topic) ([]stream.Point, []Topic, error) {
+	cfg.defaults()
+	if topics == nil {
+		topics = DefaultTopics()
+	}
+	if len(topics) == 0 {
+		return nil, nil, fmt.Errorf("text: no topics given")
+	}
+	for i, tp := range topics {
+		if len(tp.Tags) == 0 {
+			return nil, nil, fmt.Errorf("text: topic %d (%s) has no tags", i, tp.Name)
+		}
+		if tp.Popularity == nil {
+			return nil, nil, fmt.Errorf("text: topic %d (%s) has no popularity schedule", i, tp.Name)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fillerPool := []string{"today", "week", "year", "company", "people", "world", "business", "money", "video", "photo", "story", "news"}
+
+	points := make([]stream.Point, 0, cfg.N)
+	weights := make([]float64, len(topics))
+	for i := 0; i < cfg.N; i++ {
+		frac := float64(i) / float64(cfg.N)
+		if rng.Float64() < cfg.NoiseFraction {
+			doc := distance.NewTokenSet()
+			for len(doc) < cfg.TermsPerDoc {
+				doc.Add(fillerPool[rng.Intn(len(fillerPool))] + fmt.Sprint(rng.Intn(1000)))
+			}
+			points = append(points, stream.Point{Tokens: doc, Label: stream.NoLabel})
+			continue
+		}
+		var total float64
+		for t, tp := range topics {
+			weights[t] = tp.Popularity(frac)
+			if weights[t] < 0 {
+				weights[t] = 0
+			}
+			total += weights[t]
+		}
+		if total == 0 {
+			// No topic active at this fraction: emit filler noise.
+			doc := distance.NewTokenSet()
+			for len(doc) < cfg.TermsPerDoc {
+				doc.Add(fillerPool[rng.Intn(len(fillerPool))])
+			}
+			points = append(points, stream.Point{Tokens: doc, Label: stream.NoLabel})
+			continue
+		}
+		u := rng.Float64() * total
+		topicIdx := len(topics) - 1
+		var cum float64
+		for t := range topics {
+			cum += weights[t]
+			if u <= cum {
+				topicIdx = t
+				break
+			}
+		}
+		tp := topics[topicIdx]
+		doc := distance.NewTokenSet()
+		for _, tag := range tp.Tags {
+			if rng.Float64() < 0.9 {
+				doc.Add(tag)
+			}
+		}
+		for j := 0; j < cfg.TermsPerDoc; j++ {
+			if len(tp.Vocabulary) > 0 && rng.Float64() < 0.7 {
+				doc.Add(tp.Vocabulary[rng.Intn(len(tp.Vocabulary))])
+			} else {
+				doc.Add(fillerPool[rng.Intn(len(fillerPool))])
+			}
+		}
+		if doc.Len() == 0 {
+			doc.Add(tp.Tags[0])
+		}
+		points = append(points, stream.Point{Tokens: doc, Label: topicIdx})
+	}
+	return points, topics, nil
+}

@@ -1,0 +1,195 @@
+package text
+
+import (
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func TestDefaultTopics(t *testing.T) {
+	topics := DefaultTopics()
+	if len(topics) != 7 {
+		t.Fatalf("DefaultTopics returned %d topics, want 7", len(topics))
+	}
+	names := map[string]bool{}
+	for _, tp := range topics {
+		if tp.Name == "" || len(tp.Tags) == 0 || tp.Popularity == nil {
+			t.Errorf("topic %+v incomplete", tp.Name)
+		}
+		if names[tp.Name] {
+			t.Errorf("duplicate topic name %q", tp.Name)
+		}
+		names[tp.Name] = true
+	}
+	// Every topic referenced by the scripted events must exist.
+	for _, e := range NewsEvents() {
+		for _, name := range e.Topics {
+			if !names[name] {
+				t.Errorf("event %v references unknown topic %q", e.Kind, name)
+			}
+		}
+		if e.Fraction <= 0 || e.Fraction >= 1 {
+			t.Errorf("event %v fraction %v outside (0,1)", e.Kind, e.Fraction)
+		}
+	}
+}
+
+func TestNewsStream(t *testing.T) {
+	pts, topics, err := NewsStream(NewsConfig{N: 5000, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5000 {
+		t.Fatalf("generated %d documents, want 5000", len(pts))
+	}
+	labelCounts := map[int]int{}
+	for i, p := range pts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("document %d invalid: %v", i, err)
+		}
+		if !p.IsText() {
+			t.Fatalf("document %d is not a text point", i)
+		}
+		if p.Tokens.Len() == 0 {
+			t.Fatalf("document %d is empty", i)
+		}
+		if p.Label != stream.NoLabel && (p.Label < 0 || p.Label >= len(topics)) {
+			t.Fatalf("document %d has label %d outside topic range", i, p.Label)
+		}
+		labelCounts[p.Label]++
+	}
+	// The major scripted topics should all receive documents.
+	for idx, tp := range topics {
+		if labelCounts[idx] == 0 {
+			t.Errorf("topic %s received no documents", tp.Name)
+		}
+	}
+}
+
+func TestNewsStreamTopicCoherence(t *testing.T) {
+	pts, topics, err := NewsStream(NewsConfig{N: 4000, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average Jaccard distance within a topic must be clearly smaller
+	// than across unrelated topics (e.g. a Google topic vs an Apple
+	// topic), otherwise Jaccard-based clustering cannot work.
+	byLabel := map[int][]stream.Point{}
+	for _, p := range pts {
+		if p.Label != stream.NoLabel {
+			byLabel[p.Label] = append(byLabel[p.Label], p)
+		}
+	}
+	idxByName := map[string]int{}
+	for i, tp := range topics {
+		idxByName[tp.Name] = i
+	}
+	wearable := byLabel[idxByName["google-wearable"]]
+	apple := byLabel[idxByName["apple-5c"]]
+	if len(wearable) < 10 || len(apple) < 10 {
+		t.Skip("not enough documents for coherence check")
+	}
+	avg := func(a, b []stream.Point) float64 {
+		var sum float64
+		n := 0
+		for i := 0; i < 10; i++ {
+			for j := 0; j < 10; j++ {
+				sum += distance.Jaccard(a[i].Tokens, b[j].Tokens)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	intra := avg(wearable, wearable)
+	inter := avg(wearable, apple)
+	if intra >= inter {
+		t.Errorf("topics not coherent: intra distance %v >= inter distance %v", intra, inter)
+	}
+}
+
+func TestNewsStreamScriptedPopularity(t *testing.T) {
+	pts, topics, err := NewsStream(NewsConfig{N: 8000, Seed: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxByName := map[string]int{}
+	for i, tp := range topics {
+		idxByName[tp.Name] = i
+	}
+	countIn := func(name string, lo, hi float64) int {
+		idx := idxByName[name]
+		n := 0
+		for i, p := range pts {
+			frac := float64(i) / float64(len(pts))
+			if frac >= lo && frac < hi && p.Label == idx {
+				n++
+			}
+		}
+		return n
+	}
+	// Chromecast is active early and gone after 0.3.
+	if countIn("google-chromecast", 0, 0.2) == 0 {
+		t.Error("chromecast topic missing early in the stream")
+	}
+	if countIn("google-chromecast", 0.3, 1.0) != 0 {
+		t.Error("chromecast topic still active after its scripted fade-out")
+	}
+	// Smartwatch only appears after its scripted split point (0.45).
+	if countIn("google-smartwatch", 0, 0.45) != 0 {
+		t.Error("smartwatch topic appears before its scripted split")
+	}
+	if countIn("google-smartwatch", 0.5, 1.0) == 0 {
+		t.Error("smartwatch topic missing after its scripted split")
+	}
+	// Apple-Samsung only appears after 0.65.
+	if countIn("apple-samsung", 0, 0.65) != 0 {
+		t.Error("apple-samsung topic appears before its scripted split")
+	}
+}
+
+func TestNewsStreamErrors(t *testing.T) {
+	if _, _, err := NewsStream(NewsConfig{N: 10}, []Topic{}); err == nil {
+		t.Error("empty topic list should be rejected")
+	}
+	if _, _, err := NewsStream(NewsConfig{N: 10}, []Topic{{Name: "x", Popularity: window(0, 1, 1)}}); err == nil {
+		t.Error("topic without tags should be rejected")
+	}
+	if _, _, err := NewsStream(NewsConfig{N: 10}, []Topic{{Name: "x", Tags: []string{"a"}}}); err == nil {
+		t.Error("topic without popularity should be rejected")
+	}
+}
+
+func TestNewsStreamDeterminism(t *testing.T) {
+	a, _, err := NewsStream(NewsConfig{N: 500, Seed: 11}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := NewsStream(NewsConfig{N: 500, Seed: 11}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label || a[i].Tokens.Len() != b[i].Tokens.Len() {
+			t.Fatalf("same seed produced different documents at %d", i)
+		}
+	}
+}
+
+func TestPopularityShapes(t *testing.T) {
+	w := window(0.2, 0.4, 1.5)
+	if w(0.1) != 0 || w(0.3) != 1.5 || w(0.5) != 0 {
+		t.Error("window shape wrong")
+	}
+	r := ramp(0.2, 0.4, 0.8, 1.0)
+	if r(0.1) != 0 || r(0.9) != 0 {
+		t.Error("ramp boundaries wrong")
+	}
+	if !(r(0.25) > 0 && r(0.25) < 1.0) || r(0.5) != 1.0 {
+		t.Error("ramp interior wrong")
+	}
+	f := fade(0.0, 0.5, 1.0, 2.0)
+	if f(0.25) != 2.0 || !(f(0.75) > 0 && f(0.75) < 2.0) {
+		t.Error("fade interior wrong")
+	}
+}
