@@ -275,6 +275,28 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexNearestSeed measures the indexed-vs-linear nearest-seed
+// hot path (not in the paper): insert throughput with the grid index
+// and with the linear scan on a 2-D stream holding >1000 simultaneously
+// active cluster-cells. The grid is expected to win by >=2x in this
+// regime; the exact ratio is reported as the speedup metric.
+func BenchmarkIndexNearestSeed(b *testing.B) {
+	s := benchScale()
+	var results []bench.IndexBenchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = bench.RunIndexBench(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		b.ReportMetric(r.InsertsPerSec, fmt.Sprintf("%s_pts/sec", r.IndexKind))
+		b.ReportMetric(float64(r.ActiveCells), fmt.Sprintf("%s_active", r.IndexKind))
+	}
+	b.ReportMetric(bench.IndexSpeedup(results), "speedup")
+}
+
 // BenchmarkInsert measures the raw per-point insertion cost of
 // EDMStream (the quantity behind the paper's "7–23 µs per update"
 // claim), on the KDD-like workload.

@@ -61,3 +61,8 @@ func (c *Clusterer) Now() float64 { return c.core.Now() }
 // ReservoirBound returns the theoretical upper bound on the number of
 // inactive cluster-cells held in the outlier reservoir.
 func (c *Clusterer) ReservoirBound() float64 { return c.core.ReservoirBound() }
+
+// IndexKind reports which nearest-seed index the stream resolved to
+// ("grid" or "linear"; empty before the first point arrives). The
+// choice is controlled by Options.IndexPolicy.
+func (c *Clusterer) IndexKind() string { return c.core.IndexKind() }

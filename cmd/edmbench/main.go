@@ -6,7 +6,7 @@
 //
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
-//	             ablation, all
+//	             ablation, index, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -57,6 +57,7 @@ experiments:
   fig16     outlier reservoir size vs bound (Fig. 16 a-b)
   fig17     effect of the cluster-cell radius (Fig. 17 a-b)
   ablation  extra design-choice studies
+  index     nearest-seed index: grid vs linear insert throughput
   all       run every experiment
 
 flags:
@@ -175,8 +176,14 @@ func run(id string, s bench.Scale) error {
 			return err
 		}
 		fmt.Print(bench.FormatAblation(results))
+	case "index":
+		results, err := bench.RunIndexBench(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatIndexBench(results))
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

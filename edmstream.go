@@ -102,6 +102,22 @@ const (
 	FilterAll      = core.FilterAll
 )
 
+// IndexPolicy selects the nearest-seed index for the per-point hot
+// path (grid vs linear scan). Every policy produces identical
+// clustering output.
+type IndexPolicy = core.IndexPolicy
+
+// Index policies.
+const (
+	// IndexAuto picks the grid index for low-dimensional Euclidean
+	// streams and the linear scan otherwise. The default.
+	IndexAuto = core.IndexAuto
+	// IndexGrid forces the grid index for numeric streams.
+	IndexGrid = core.IndexGrid
+	// IndexLinear forces the linear scan.
+	IndexLinear = core.IndexLinear
+)
+
 // Stats exposes the clusterer's internal counters.
 type Stats = core.Stats
 

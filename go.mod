@@ -1,0 +1,3 @@
+module github.com/densitymountain/edmstream
+
+go 1.24

@@ -183,6 +183,23 @@ func FormatAblation(results []AblationResult) string {
 	return b.String()
 }
 
+// FormatIndexBench renders the nearest-seed index experiment.
+func FormatIndexBench(results []IndexBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Nearest-seed index: grid vs linear insert throughput (2-D lattice stream)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %14s %12s %18s %9s\n",
+		"index", "active", "cells total", "inserts/sec", "insert wall", "seed dists/point", "clusters")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-8s %12d %12d %14.0f %12s %18.1f %9d\n",
+			r.IndexKind, r.ActiveCells, r.TotalCells, r.InsertsPerSec, formatDuration(r.InsertWall),
+			r.MeanCandidatesPerPoint, r.Clusters)
+	}
+	if s := IndexSpeedup(results); s > 0 {
+		fmt.Fprintf(&b, "grid speedup over linear: %.2fx\n", s)
+	}
+	return b.String()
+}
+
 func formatDuration(d time.Duration) string {
 	switch {
 	case d == 0:

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/core"
+)
+
+// TestRunIndexBench smoke-tests the nearest-seed index experiment at a
+// reduced scale and checks that the two policies computed the same
+// clustering (the experiment's numbers are only comparable when the
+// work done is identical).
+func TestRunIndexBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index bench workload is too large for -short")
+	}
+	s := Scale{Points: 2000, Seed: 1, Rate: 1000}
+	results, err := RunIndexBench(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 results, got %d", len(results))
+	}
+	linear, grid := results[0], results[1]
+	if linear.Policy != core.IndexLinear || grid.Policy != core.IndexGrid {
+		t.Fatalf("unexpected policy order: %v, %v", linear.Policy, grid.Policy)
+	}
+	if linear.IndexKind != "linear" || grid.IndexKind != "grid" {
+		t.Fatalf("unexpected index kinds: %q, %q", linear.IndexKind, grid.IndexKind)
+	}
+	// Identical clustering fingerprints: the policies must have done
+	// the same clustering work.
+	if linear.Clusters != grid.Clusters || linear.CellsCreated != grid.CellsCreated ||
+		linear.ActiveCells != grid.ActiveCells || linear.TotalCells != grid.TotalCells {
+		t.Fatalf("policies disagree on the clustering:\n  linear %+v\n  grid   %+v", linear, grid)
+	}
+	// The lattice must be live: the measured phase runs against four
+	// digits of simultaneously active cells.
+	if grid.ActiveCells < 1000 {
+		t.Fatalf("only %d active cells; the workload no longer exercises the indexed regime", grid.ActiveCells)
+	}
+	if linear.InsertsPerSec <= 0 || grid.InsertsPerSec <= 0 {
+		t.Fatalf("non-positive throughput: linear %v, grid %v", linear.InsertsPerSec, grid.InsertsPerSec)
+	}
+	// The grid must prune: two orders of magnitude fewer seed
+	// distances per point (wall-clock speedup is asserted only by the
+	// benchmark, not here, to keep the test robust on slow CI).
+	if grid.MeanCandidatesPerPoint*10 > linear.MeanCandidatesPerPoint {
+		t.Fatalf("grid measured %.1f seed distances per point vs linear %.1f — pruning broke",
+			grid.MeanCandidatesPerPoint, linear.MeanCandidatesPerPoint)
+	}
+	out := FormatIndexBench(results)
+	for _, want := range []string{"grid", "linear", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatIndexBench output missing %q:\n%s", want, out)
+		}
+	}
+}

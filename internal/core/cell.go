@@ -36,9 +36,21 @@ type Cell struct {
 	// children are the cells that depend on this cell.
 	children map[int64]*Cell
 
-	// listIdx is the cell's position in the EDMStream cell list (used
-	// for O(1) removal).
-	listIdx int
+	// treeIdx is the cell's position in the DP-Tree's active-cell list
+	// (used for O(1) removal). Meaningful only while active.
+	treeIdx int
+	// densBucket and densIdx locate the cell in the DP-Tree's density
+	// band index (the logNorm bucket it lives in and its slot there).
+	// Meaningful only while active.
+	densBucket int64
+	densIdx    int
+	// logNorm is the cell's decay-normalized log-density,
+	// ln(rho) + λ·ln(1/a)·rhoTime, maintained by EDMStream whenever
+	// the cell absorbs a point. Because every cell decays at the same
+	// rate, densities at a common time compare exactly as their
+	// logNorm keys do, which lets the density filter (Theorem 1) test
+	// candidates without exponentiating per candidate.
+	logNorm float64
 	// lastDist is the distance from the most recently assigned point to
 	// this cell's seed, valid when lastDistStamp equals the stream's
 	// point counter; it feeds the triangle-inequality filter without a

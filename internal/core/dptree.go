@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"github.com/densitymountain/edmstream/internal/index"
 	"github.com/densitymountain/edmstream/internal/stream"
 )
 
@@ -14,11 +15,69 @@ import (
 // than τ (Def. 2).
 type dpTree struct {
 	cells map[int64]*Cell
+	// list holds the active cells in a slice for cache-friendly,
+	// deterministic iteration on the per-point hot path (dependency
+	// updates after an absorption).
+	list  []*Cell
 	decay stream.Decay
+	// accel, when non-nil, is the stream's grid seed index (shared
+	// with EDMStream); dependency searches then expand bucket shells
+	// outward instead of scanning every active cell. It indexes all
+	// cells — active and reservoir — so searches filter by membership
+	// in the tree.
+	accel index.SeedIndex
+	// byDensity buckets the active cells by their decay-normalized
+	// log-density key (floor(logNorm/densBucketWidth)), so the density
+	// filter of Theorem 1 can enumerate just the cells inside an
+	// absorption's density band instead of scanning every active cell.
+	byDensity map[int64][]*Cell
 }
 
+// densBucketWidth is the log-density width of one density band bucket.
+// An absorption's band is ln(1 + 1/ρ) wide, so established cells span
+// a bucket or two while brand-new cells (ρ ≈ 1) span three.
+const densBucketWidth = 0.25
+
 func newDPTree(d stream.Decay) *dpTree {
-	return &dpTree{cells: make(map[int64]*Cell), decay: d}
+	return &dpTree{cells: make(map[int64]*Cell), byDensity: make(map[int64][]*Cell), decay: d}
+}
+
+// densBucketOf returns the density bucket for a log-density key.
+func densBucketOf(logNorm float64) int64 {
+	return int64(math.Floor(logNorm / densBucketWidth))
+}
+
+// densInsert adds an active cell to the density band index.
+func (t *dpTree) densInsert(c *Cell) {
+	b := densBucketOf(c.logNorm)
+	c.densBucket = b
+	c.densIdx = len(t.byDensity[b])
+	t.byDensity[b] = append(t.byDensity[b], c)
+}
+
+// densRemove takes an active cell out of the density band index
+// (O(1) swap-remove).
+func (t *dpTree) densRemove(c *Cell) {
+	bucket := t.byDensity[c.densBucket]
+	last := len(bucket) - 1
+	bucket[c.densIdx] = bucket[last]
+	bucket[c.densIdx].densIdx = c.densIdx
+	bucket = bucket[:last]
+	if len(bucket) == 0 {
+		delete(t.byDensity, c.densBucket)
+	} else {
+		t.byDensity[c.densBucket] = bucket
+	}
+}
+
+// rebucket moves an active cell to its current density bucket after
+// its logNorm key changed (it absorbed a point).
+func (t *dpTree) rebucket(c *Cell) {
+	if densBucketOf(c.logNorm) == c.densBucket {
+		return
+	}
+	t.densRemove(c)
+	t.densInsert(c)
 }
 
 // size returns the number of active cells.
@@ -28,7 +87,10 @@ func (t *dpTree) size() int { return len(t.cells) }
 // are responsible for calling computeDependency and retargetLower.
 func (t *dpTree) insert(c *Cell) {
 	c.active = true
+	c.treeIdx = len(t.list)
+	t.list = append(t.list, c)
 	t.cells[c.id] = c
+	t.densInsert(c)
 }
 
 // remove detaches the cell from the tree: it is unlinked from its
@@ -42,6 +104,11 @@ func (t *dpTree) remove(c *Cell) {
 	}
 	c.children = make(map[int64]*Cell)
 	c.active = false
+	last := len(t.list) - 1
+	t.list[c.treeIdx] = t.list[last]
+	t.list[c.treeIdx].treeIdx = c.treeIdx
+	t.list = t.list[:last]
+	t.densRemove(c)
 	delete(t.cells, c.id)
 }
 
@@ -69,30 +136,117 @@ func (t *dpTree) unlink(c *Cell) {
 	c.delta = math.Inf(1)
 }
 
-// computeDependency finds c's nearest active cell with higher density
-// at time now and links it. If no active cell outranks c, c becomes a
-// root (no dependency).
-func (t *dpTree) computeDependency(c *Cell, now float64) {
-	var best *Cell
-	bestDist := math.Inf(1)
-	for _, o := range t.cells {
-		if o == c {
-			continue
-		}
-		if !higherRanked(o, c, now, t.decay) {
-			continue
-		}
-		d := c.distanceToCell(o)
-		if d < bestDist {
-			bestDist = d
-			best = o
-		}
+// outranks reports whether cell a outranks cell b in density at time
+// now, like higherRanked, but first tries to decide from the cells'
+// decay-normalized log-density keys: densities at a common time
+// compare as their logNorm keys do, so when the keys differ by more
+// than the rounding slack no exponentiation is needed. Only
+// near-equal keys (including exact density ties, which the cell-ID
+// tie-break resolves) fall through to the exact comparison.
+func (t *dpTree) outranks(a, b *Cell, now float64) bool {
+	if d := a.logNorm - b.logNorm; d > logBandSlack {
+		return true
+	} else if d < -logBandSlack {
+		return false
 	}
-	if best == nil {
+	return higherRanked(a, b, now, t.decay)
+}
+
+// dependencyScanCap is the higher-ranked set size up to which
+// computeDependency prefers enumerating the density buckets above the
+// cell over expanding grid shells around it: few higher-ranked cells
+// means the nearest one may be anywhere spatially (bad for shells) but
+// is cheap to find by trying them all.
+const dependencyScanCap = 128
+
+// nearestPick accumulates the nearest candidate with the lowest-ID
+// tie-break every dependency search in this package must apply, so the
+// determinism rule lives in exactly one place.
+type nearestPick struct {
+	best *Cell
+	dist float64
+}
+
+func (p *nearestPick) consider(o *Cell, d float64) {
+	if math.IsInf(d, 1) {
+		// Incomparable seeds (numeric vs token-set) are never a
+		// dependency, even when nothing else is admissible.
+		return
+	}
+	if p.best == nil || d < p.dist || (d == p.dist && o.id < p.best.id) {
+		p.best, p.dist = o, d
+	}
+}
+
+// linkPick installs a search result as c's dependency (or makes c a
+// root when the search found nothing).
+func (t *dpTree) linkPick(c *Cell, p nearestPick) {
+	if p.best == nil {
 		t.unlink(c)
 		return
 	}
-	t.link(c, best, bestDist)
+	t.link(c, p.best, p.dist)
+}
+
+// computeDependency finds c's nearest active cell with higher density
+// at time now and links it. If no active cell outranks c, c becomes a
+// root (no dependency). Distance ties break toward the lowest cell ID
+// so the result does not depend on iteration order (or on the index
+// backing the search).
+func (t *dpTree) computeDependency(c *Cell, now float64) {
+	if t.accel != nil {
+		t.computeDependencyIndexed(c, now)
+		return
+	}
+	var pick nearestPick
+	for _, o := range t.list {
+		if o == c || !t.outranks(o, c, now) {
+			continue
+		}
+		pick.consider(o, c.distanceToCell(o))
+	}
+	t.linkPick(c, pick)
+}
+
+// computeDependencyIndexed is computeDependency on gridded streams. It
+// picks between two exact strategies: when few active cells outrank c
+// (c is near the top of the density order), it simply tries them all
+// via the density buckets; otherwise it expands grid shells around c's
+// seed, which terminates quickly because higher-ranked cells are
+// plentiful.
+func (t *dpTree) computeDependencyIndexed(c *Cell, now float64) {
+	start := densBucketOf(c.logNorm - logBandSlack)
+	higher := 0
+	for b, bucket := range t.byDensity {
+		if b >= start {
+			higher += len(bucket)
+		}
+	}
+	if higher <= dependencyScanCap {
+		var pick nearestPick
+		for b, bucket := range t.byDensity {
+			if b < start {
+				continue
+			}
+			for _, o := range bucket {
+				if o == c || !t.outranks(o, c, now) {
+					continue
+				}
+				pick.consider(o, c.distanceToCell(o))
+			}
+		}
+		t.linkPick(c, pick)
+		return
+	}
+	id, d, ok := t.accel.NearestWhere(c.seed, func(id int64) bool {
+		o, active := t.cells[id]
+		return active && id != c.id && t.outranks(o, c, now)
+	})
+	if !ok {
+		t.unlink(c)
+		return
+	}
+	t.link(c, t.cells[id], d)
 }
 
 // retargetLower checks every active cell ranked below c and relinks it
@@ -102,11 +256,11 @@ func (t *dpTree) computeDependency(c *Cell, now float64) {
 // their higher-density set, so their dependency either stays or becomes
 // c (Sec. 4.2).
 func (t *dpTree) retargetLower(c *Cell, now float64) {
-	for _, o := range t.cells {
+	for _, o := range t.list {
 		if o == c {
 			continue
 		}
-		if higherRanked(o, c, now, t.decay) {
+		if t.outranks(o, c, now) {
 			continue
 		}
 		d := o.distanceToCell(c)
@@ -205,8 +359,27 @@ func (t *dpTree) checkInvariants(now float64) string {
 			return "negative or NaN dependent distance"
 		}
 	}
-	if len(t.cells) > 0 && roots != 1 {
-		return "DP-Tree does not have exactly one root"
+	if len(t.cells) > 0 && roots == 0 {
+		return "DP-Tree has no root"
+	}
+	// Every root must be maximal: no active cell may outrank it at a
+	// finite distance (otherwise computeDependency/retargetLower failed
+	// to link it). On a single-metric stream this implies exactly one
+	// root; streams mixing numeric and token-set points legitimately
+	// hold one root per metric space, since cross-type distances are
+	// infinite.
+	for _, c := range t.cells {
+		if c.dep != nil {
+			continue
+		}
+		for _, o := range t.cells {
+			if o == c || !higherRanked(o, c, now, t.decay) {
+				continue
+			}
+			if !math.IsInf(c.distanceToCell(o), 1) {
+				return "root cell has an admissible dependency it is not linked to"
+			}
+		}
 	}
 	// Acyclicity: walking up from any cell must terminate.
 	for _, c := range t.cells {
@@ -217,6 +390,35 @@ func (t *dpTree) checkInvariants(now float64) string {
 			}
 			seen[cur.id] = true
 		}
+	}
+	if len(t.list) != len(t.cells) {
+		return "active cell list and map sizes differ"
+	}
+	for i, c := range t.list {
+		if c.treeIdx != i {
+			return "active cell list index out of sync"
+		}
+		if t.cells[c.id] != c {
+			return "active cell list holds a cell missing from the map"
+		}
+	}
+	inBuckets := 0
+	for b, bucket := range t.byDensity {
+		for i, c := range bucket {
+			inBuckets++
+			if c.densBucket != b || c.densIdx != i {
+				return "density band index out of sync"
+			}
+			if !c.active {
+				return "inactive cell present in density band index"
+			}
+			if densBucketOf(c.logNorm) != b {
+				return "cell filed in the wrong density bucket"
+			}
+		}
+	}
+	if inBuckets != len(t.cells) {
+		return "density band index and cell map sizes differ"
 	}
 	return ""
 }

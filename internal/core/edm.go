@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
+	"github.com/densitymountain/edmstream/internal/index"
 	"github.com/densitymountain/edmstream/internal/stream"
 )
 
@@ -19,12 +21,15 @@ type EDMStream struct {
 
 	tree *dpTree
 	res  *reservoir
-	// cells indexes every cluster-cell (active and inactive) by ID;
-	// cellList holds the same cells in a slice for cache-friendly
-	// iteration on the per-point hot path (nearest-seed search and
-	// dependency updates).
-	cells    map[int64]*Cell
-	cellList []*Cell
+	// cells indexes every cluster-cell (active and inactive) by ID.
+	cells map[int64]*Cell
+	// seedIdx indexes every cell's seed for nearest-seed probes. It is
+	// resolved lazily from the first point (grid for low-dimensional
+	// Euclidean streams, linear scan otherwise — see IndexPolicy).
+	seedIdx index.SeedIndex
+	// lnDecay is λ·ln(1/a), the per-second log-density decay rate used
+	// to maintain Cell.logNorm.
+	lnDecay float64
 
 	nextCellID int64
 	now        float64
@@ -51,25 +56,72 @@ func New(cfg Config) (*EDMStream, error) {
 		tree:    newDPTree(cfg.Decay),
 		res:     newReservoir(),
 		cells:   make(map[int64]*Cell),
+		lnDecay: cfg.Decay.Lambda * math.Log(1/cfg.Decay.A),
 		tracker: newEvolutionTracker(cfg.MaxEvents),
 	}, nil
 }
 
-// addCell registers a newly created cell in the ID index and the
-// iteration list.
-func (e *EDMStream) addCell(c *Cell) {
-	c.listIdx = len(e.cellList)
-	e.cellList = append(e.cellList, c)
-	e.cells[c.id] = c
+// maxAutoGridDim is the largest stream dimensionality for which
+// IndexAuto still selects the grid index: beyond it, enumerating the
+// 3^d neighboring buckets costs more than it saves over the linear
+// scan on realistic cell counts.
+const maxAutoGridDim = 8
+
+// ensureIndex resolves the nearest-seed index from the first observed
+// point: grid for Euclidean streams within the policy's
+// dimensionality budget, linear scan otherwise. The grid is shared
+// with the DP-Tree, whose dependency searches use it to expand bucket
+// shells instead of scanning every active cell.
+func (e *EDMStream) ensureIndex(p stream.Point) {
+	if e.seedIdx != nil {
+		return
+	}
+	useGrid := false
+	switch e.cfg.IndexPolicy {
+	case IndexGrid:
+		useGrid = !p.IsText()
+	case IndexLinear:
+	default: // IndexAuto
+		useGrid = !p.IsText() && p.Dim() > 0 && p.Dim() <= maxAutoGridDim
+	}
+	if useGrid {
+		g := index.NewGrid(e.cfg.Radius)
+		e.seedIdx = g
+		e.tree.accel = g
+	} else {
+		e.seedIdx = index.NewLinear()
+	}
 }
 
-// removeCell unregisters a deleted cell (O(1) swap-remove).
+// IndexKind reports which nearest-seed index the stream resolved to
+// ("grid", "linear", or "" before the first point).
+func (e *EDMStream) IndexKind() string {
+	if e.seedIdx == nil {
+		return ""
+	}
+	return e.seedIdx.Kind()
+}
+
+// addCell registers a newly created cell in the ID index and the seed
+// index, and stamps its decay-normalized log-density key.
+func (e *EDMStream) addCell(c *Cell) {
+	e.ensureIndex(c.seed)
+	e.cells[c.id] = c
+	e.seedIdx.Insert(c.id, c.seed)
+	e.refreshLogNorm(c)
+}
+
+// removeCell unregisters a deleted cell.
 func (e *EDMStream) removeCell(c *Cell) {
-	last := len(e.cellList) - 1
-	e.cellList[c.listIdx] = e.cellList[last]
-	e.cellList[c.listIdx].listIdx = c.listIdx
-	e.cellList = e.cellList[:last]
+	e.seedIdx.Remove(c.id, c.seed)
 	delete(e.cells, c.id)
+}
+
+// refreshLogNorm recomputes c's decay-normalized log-density key after
+// its stored density changed (see Cell.logNorm). settle() preserves
+// the timely density exactly, so only absorptions need a refresh.
+func (e *EDMStream) refreshLogNorm(c *Cell) {
+	c.logNorm = math.Log(c.rho) + e.lnDecay*c.rhoTime
 }
 
 // Name implements stream.Clusterer.
@@ -119,15 +171,17 @@ func (e *EDMStream) Insert(p stream.Point) error {
 	}
 	now := e.now
 	e.stats.Points++
+	e.ensureIndex(p)
 
 	start := time.Now()
-	cell, dist := e.nearestSeed(p)
+	cell, _, absorbed := e.nearestSeed(p)
 	e.stats.AssignTime += time.Since(start)
 
 	switch {
-	case cell == nil || dist > e.cfg.Radius:
-		// No cell can absorb the point: it seeds a new cluster-cell,
-		// cached in the outlier reservoir because of its low density.
+	case !absorbed:
+		// No cell's seed is within Radius: the point seeds a new
+		// cluster-cell, cached in the outlier reservoir because of its
+		// low density.
 		c := newCell(e.nextCellID, p)
 		c.seed.Time = now
 		c.lastAbsorb = now
@@ -142,6 +196,10 @@ func (e *EDMStream) Insert(p stream.Point) error {
 	default:
 		rhoBefore := cell.Density(now, e.cfg.Decay)
 		cell.absorb(now, e.cfg.Decay)
+		e.refreshLogNorm(cell)
+		if cell.active {
+			e.tree.rebucket(cell)
+		}
 		if !e.initialized {
 			break
 		}
@@ -172,64 +230,60 @@ func (e *EDMStream) Insert(p stream.Point) error {
 	return nil
 }
 
-// nearestSeed returns the cell whose seed is closest to p, together
-// with the distance. The per-cell distances measured during the scan
-// are stamped onto the cells so the triangle-inequality filter can
-// reuse them at no extra cost.
-func (e *EDMStream) nearestSeed(p stream.Point) (*Cell, float64) {
+// nearestSeed returns the cell whose seed is closest to p among those
+// within the cell radius, with the distance; ok is false when no cell
+// can absorb the point. The per-cell distances measured during the
+// probe are stamped onto the cells so the triangle-inequality filter
+// can reuse them at no extra cost; with the grid index only the cells
+// in the probed buckets are stamped, which merely narrows where that
+// filter applies (Theorem 2 skips are optional, never required).
+func (e *EDMStream) nearestSeed(p stream.Point) (*Cell, float64, bool) {
 	stamp := e.stats.Points
-	var best *Cell
-	bestDist := math.Inf(1)
-	for _, c := range e.cellList {
-		d := c.distanceToPoint(p)
+	id, d, ok := e.seedIdx.NearestWithin(p, e.cfg.Radius, func(id int64, d float64) {
+		c := e.cells[id]
 		c.lastDist = d
 		c.lastDistStamp = stamp
-		if d < bestDist || (d == bestDist && best != nil && c.id < best.id) {
-			bestDist = d
-			best = c
-		}
+		e.stats.SeedCandidates++
+	})
+	if !ok {
+		return nil, 0, false
 	}
-	return best, bestDist
+	return e.cells[id], d, true
 }
+
+// logBandSlack widens the density filter's log-domain band to absorb
+// the rounding of the log transform: a candidate within the slack of a
+// band edge is examined rather than skipped, which keeps the filter
+// conservative (skipping is only ever an optimization, per Theorem 1).
+const logBandSlack = 1e-6
 
 // updateDependenciesAfterAbsorb restores the DP-Tree invariants after
 // cell c absorbed a point at time now, applying the density filter
 // (Theorem 1) and the triangle-inequality filter (Theorem 2) to skip
 // cells whose dependency cannot have changed.
+//
+// The density filter runs in the decay-normalized log domain: every
+// cell decays at the same rate, so densities at the common time `now`
+// compare exactly as the cells' logNorm keys do, and the per-candidate
+// test is two float comparisons instead of an exponentiation.
 func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, now float64) {
 	rhoAfter := c.Density(now, e.cfg.Decay)
 	stamp := e.stats.Points
 	distToC := c.lastDist
 	haveDistToC := c.lastDistStamp == stamp
 
-	for _, o := range e.cellList {
-		if o == c || !o.active {
-			continue
-		}
-		e.stats.DependencyCandidates++
-		rhoO := o.Density(now, e.cfg.Decay)
-
-		if e.cfg.Filters&FilterDensity != 0 {
-			// Theorem 1: if c already outranked o before the
-			// absorption, or still does not outrank it afterwards, o's
-			// higher-density set is unchanged and its dependency cannot
-			// move.
-			if rhoO < rhoBefore || rhoO >= rhoAfter {
-				e.stats.FilteredByDensity++
-				continue
-			}
-		}
+	examine := func(o *Cell) {
 		if e.cfg.Filters&FilterTriangle != 0 && haveDistToC && o.lastDistStamp == stamp {
 			// Theorem 2: ||p,s_o| − |p,s_c|| is a lower bound on
 			// |s_o,s_c|; if it already exceeds o's dependent distance,
 			// c cannot become o's new dependency.
 			if math.Abs(o.lastDist-distToC) > o.delta {
 				e.stats.FilteredByTriangle++
-				continue
+				return
 			}
 		}
-		if !higherRanked(c, o, now, e.cfg.Decay) {
-			continue
+		if !e.tree.outranks(c, o, now) {
+			return
 		}
 		d := o.distanceToCell(c)
 		if d < o.delta {
@@ -238,10 +292,64 @@ func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, no
 		}
 	}
 
+	e.stats.DependencyCandidates += int64(len(e.tree.list) - 1)
+	if e.cfg.Filters&FilterDensity != 0 {
+		// Theorem 1: only cells whose density at `now` lies in
+		// [ρ_before, ρ_after) can see their dependency move — c
+		// outranked everything below the band already, and still does
+		// not outrank anything at or above it. The band translates to
+		// a range of logNorm keys (densities at a common time compare
+		// as the keys do; the slack absorbs log rounding, erring
+		// toward examining), so only the density buckets covering the
+		// band are enumerated — every skipped cell is filtered by
+		// density without being touched.
+		base := e.lnDecay * now
+		bandLo := math.Log(rhoBefore) + base - logBandSlack
+		bandHi := math.Log(rhoAfter) + base + logBandSlack
+		examined := int64(0)
+		inBand := func(bucket []*Cell) {
+			for _, o := range bucket {
+				if o == c {
+					continue
+				}
+				examined++
+				if o.logNorm < bandLo || o.logNorm >= bandHi {
+					e.stats.FilteredByDensity++
+					continue
+				}
+				examine(o)
+			}
+		}
+		// Enumerate the bucket range when it is narrow; otherwise (wide
+		// or unbounded bands — a fully decayed cell makes bandLo −Inf)
+		// walk the occupied buckets instead. Both enumerate a superset
+		// of the band; the per-cell check above stays authoritative.
+		loF := math.Floor(bandLo / densBucketWidth)
+		hiF := math.Floor(bandHi / densBucketWidth)
+		if hiF-loF < float64(len(e.tree.byDensity)) {
+			for b := int64(loF); b <= int64(hiF); b++ {
+				inBand(e.tree.byDensity[b])
+			}
+		} else {
+			for b, bucket := range e.tree.byDensity {
+				if f := float64(b); f >= loF && f <= hiF {
+					inBand(bucket)
+				}
+			}
+		}
+		e.stats.FilteredByDensity += int64(len(e.tree.list)-1) - examined
+	} else {
+		for _, o := range e.tree.list {
+			if o != c {
+				examine(o)
+			}
+		}
+	}
+
 	// c's own dependency: its higher-density set can only have shrunk.
 	// If the previous dependency still outranks c it remains the
 	// nearest higher-density cell; otherwise recompute from scratch.
-	if c.dep == nil || !higherRanked(c.dep, c, now, e.cfg.Decay) {
+	if c.dep == nil || !e.tree.outranks(c.dep, c, now) {
 		e.tree.computeDependency(c, now)
 	}
 }
@@ -274,7 +382,7 @@ func (e *EDMStream) sweep(now float64) {
 	// threshold can be demoted without leaving dangling dependencies:
 	// all its successors are below the threshold too.
 	var demote []*Cell
-	for _, c := range e.tree.cells {
+	for _, c := range e.tree.list {
 		if c.Density(now, e.cfg.Decay) < threshold {
 			demote = append(demote, c)
 		}
@@ -287,7 +395,7 @@ func (e *EDMStream) sweep(now float64) {
 	// Demotions may leave cells whose dependency was demoted; their
 	// dep pointers were cleared by remove, so recompute them.
 	if len(demote) > 0 {
-		for _, c := range e.tree.cells {
+		for _, c := range e.tree.list {
 			if c.dep == nil {
 				e.tree.computeDependency(c, now)
 			}
@@ -334,15 +442,17 @@ func (e *EDMStream) finalizeInit(now float64) {
 	}
 	e.tuner.initialize(tau0, e.cfg.Alpha, deltas)
 
-	// Cells that already meet the density threshold enter the DP-Tree.
+	// Cells that already meet the density threshold enter the DP-Tree
+	// (in cell-ID order, so the active list — and everything downstream
+	// of its iteration order — is deterministic).
 	threshold := e.activeThreshold()
-	for _, c := range e.cells {
+	for _, c := range e.sortedCells() {
 		if c.Density(now, e.cfg.Decay) >= threshold {
 			e.res.remove(c)
 			e.tree.insert(c)
 		}
 	}
-	for _, c := range e.tree.cells {
+	for _, c := range e.tree.list {
 		e.tree.computeDependency(c, now)
 	}
 
@@ -352,23 +462,33 @@ func (e *EDMStream) finalizeInit(now float64) {
 	e.refreshClustering(now)
 }
 
-// initialDecisionGraph computes (ρ, δ) for every cached cell against
-// all other cached cells, which is the decision graph shown to the
-// user (or to the TauSelector heuristic) at initialization time.
-func (e *EDMStream) initialDecisionGraph(now float64) ([]DecisionPoint, []float64) {
+// sortedCells returns every cached cell ordered by ID.
+func (e *EDMStream) sortedCells() []*Cell {
 	cells := make([]*Cell, 0, len(e.cells))
 	for _, c := range e.cells {
 		cells = append(cells, c)
 	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].id < cells[j].id })
+	return cells
+}
+
+// initialDecisionGraph computes (ρ, δ) for every cached cell against
+// all other cached cells, which is the decision graph shown to the
+// user (or to the TauSelector heuristic) at initialization time. The
+// per-cell dependency search goes through the seed index, so on
+// gridded streams initialization is no longer quadratic in the cell
+// count.
+func (e *EDMStream) initialDecisionGraph(now float64) ([]DecisionPoint, []float64) {
+	cells := e.sortedCells()
 	graph := make([]DecisionPoint, 0, len(cells))
 	var deltas []float64
 	for _, c := range cells {
 		best := math.Inf(1)
-		for _, o := range cells {
-			if o == c || !higherRanked(o, c, now, e.cfg.Decay) {
-				continue
-			}
-			if d := c.distanceToCell(o); d < best {
+		if e.seedIdx != nil {
+			cid := c.id
+			if _, d, ok := e.seedIdx.NearestWhere(c.seed, func(id int64) bool {
+				return id != cid && e.tree.outranks(e.cells[id], c, now)
+			}); ok {
 				best = d
 			}
 		}
@@ -390,7 +510,7 @@ func (e *EDMStream) DecisionGraph() []DecisionPoint {
 		return graph
 	}
 	graph := make([]DecisionPoint, 0, e.tree.size())
-	for _, c := range e.tree.cells {
+	for _, c := range e.tree.list {
 		graph = append(graph, DecisionPoint{CellID: c.id, Rho: c.Density(now, e.cfg.Decay), Delta: c.delta})
 	}
 	return graph
@@ -405,7 +525,7 @@ func (e *EDMStream) refreshClustering(now float64) {
 
 	if e.cfg.AdaptiveTau {
 		deltas := make([]float64, 0, e.tree.size())
-		for _, c := range e.tree.cells {
+		for _, c := range e.tree.list {
 			deltas = append(deltas, c.delta)
 		}
 		e.tuner.retune(deltas)
@@ -451,6 +571,10 @@ func (e *EDMStream) refreshClustering(now float64) {
 			PeakCellID:  peak.id,
 			PeakDensity: peak.Density(now, e.cfg.Decay),
 		}
+		// Member order (and with it the CellIDs ↔ SeedPoints
+		// correspondence and the float summation order of Weight) is
+		// fixed by cell ID so snapshots are fully deterministic.
+		sort.Slice(members[idx], func(a, b int) bool { return members[idx][a].id < members[idx][b].id })
 		for _, c := range members[idx] {
 			info.CellIDs = append(info.CellIDs, c.id)
 			// Clone the seed so callers can hold or mutate the snapshot
@@ -526,13 +650,11 @@ func (e *EDMStream) CheckInvariants() error {
 	if e.tree.size()+e.res.size() != len(e.cells) {
 		return fmt.Errorf("core: tree (%d) + reservoir (%d) != total cells (%d)", e.tree.size(), e.res.size(), len(e.cells))
 	}
-	if len(e.cellList) != len(e.cells) {
-		return fmt.Errorf("core: cell list length %d != cell index size %d", len(e.cellList), len(e.cells))
+	if e.seedIdx != nil && e.seedIdx.Len() != len(e.cells) {
+		return fmt.Errorf("core: seed index size %d != cell index size %d", e.seedIdx.Len(), len(e.cells))
 	}
-	for i, c := range e.cellList {
-		if c.listIdx != i {
-			return fmt.Errorf("core: cell %d has list index %d, stored at %d", c.id, c.listIdx, i)
-		}
+	if e.seedIdx == nil && len(e.cells) > 0 {
+		return fmt.Errorf("core: %d cells registered without a seed index", len(e.cells))
 	}
 	return nil
 }

@@ -50,6 +50,41 @@ func (m FilterMode) String() string {
 	}
 }
 
+// IndexPolicy selects the nearest-seed index backing the per-point hot
+// path (see internal/index).
+type IndexPolicy uint8
+
+// Index policies.
+const (
+	// IndexAuto (the default) picks per stream: a uniform grid hash
+	// over seed coordinates for low-dimensional Euclidean streams, the
+	// linear scan otherwise (token-set streams, which a coordinate grid
+	// cannot bucket, and high-dimensional streams, where probing the
+	// 3^d neighboring buckets stops paying off).
+	IndexAuto IndexPolicy = iota
+	// IndexGrid forces the grid index for numeric streams regardless
+	// of dimensionality. Token-set streams still fall back to the
+	// linear scan.
+	IndexGrid
+	// IndexLinear forces the linear scan. Mainly useful for
+	// benchmarking the grid against it.
+	IndexLinear
+)
+
+// String returns a short identifier for the policy.
+func (p IndexPolicy) String() string {
+	switch p {
+	case IndexAuto:
+		return "auto"
+	case IndexGrid:
+		return "grid"
+	case IndexLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("IndexPolicy(%d)", uint8(p))
+	}
+}
+
 // DecisionPoint is one cell's (ρ, δ) pair on the decision graph
 // (Fig. 2b / Fig. 15). The initial τ is chosen from the decision graph,
 // either by a user or by the default largest-gap heuristic.
@@ -126,6 +161,11 @@ type Config struct {
 	// MaxEvents caps the evolution log length (oldest events are
 	// dropped). Zero means unlimited.
 	MaxEvents int
+	// IndexPolicy selects the nearest-seed index for the per-point hot
+	// path. The default (IndexAuto) uses the grid index for
+	// low-dimensional Euclidean streams and the linear scan otherwise;
+	// both produce identical clustering output.
+	IndexPolicy IndexPolicy
 }
 
 // SetFilters sets the filter mode explicitly, allowing FilterNone to be
@@ -208,6 +248,9 @@ func (c Config) Validate() error {
 	}
 	if d.DeleteDelay < 0 {
 		return fmt.Errorf("core: DeleteDelay must be non-negative, got %v", c.DeleteDelay)
+	}
+	if d.IndexPolicy > IndexLinear {
+		return fmt.Errorf("core: unknown index policy %v", c.IndexPolicy)
 	}
 	return nil
 }

@@ -73,11 +73,10 @@ func (s Snapshot) MacroClusters() []stream.MacroCluster {
 	return out
 }
 
-// sortClusterInfo orders clusters by ID and their member cells by cell
-// ID so snapshots are deterministic.
+// sortClusterInfo orders clusters by ID. Member cells are already
+// ordered by cell ID at construction time (refreshClustering), which
+// keeps the CellIDs and SeedPoints slices index-aligned; sorting
+// CellIDs here independently would break that correspondence.
 func sortClusterInfo(cs []ClusterInfo) {
-	for i := range cs {
-		sort.Slice(cs[i].CellIDs, func(a, b int) bool { return cs[i].CellIDs[a] < cs[i].CellIDs[b] })
-	}
 	sort.Slice(cs, func(a, b int) bool { return cs[a].ID < cs[b].ID })
 }

@@ -29,6 +29,11 @@ type Stats struct {
 	// AssignTime is the accumulated wall-clock time spent finding the
 	// nearest seed for arriving points.
 	AssignTime time.Duration
+	// SeedCandidates is the number of seed distances measured during
+	// nearest-seed probes. With the linear index it equals
+	// Points × live cells; the grid index keeps it near the local
+	// neighborhood size, which is what makes assignment sublinear.
+	SeedCandidates int64
 	// EvolutionEvents is the number of evolution events recorded so far.
 	EvolutionEvents int64
 }

@@ -1,0 +1,227 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+func vec(coords ...float64) stream.Point {
+	return stream.Point{Vector: coords}
+}
+
+func TestEmptyIndexes(t *testing.T) {
+	for _, idx := range []SeedIndex{NewGrid(1.0), NewLinear()} {
+		if idx.Len() != 0 {
+			t.Fatalf("%s: empty index has Len %d", idx.Kind(), idx.Len())
+		}
+		if _, _, ok := idx.NearestWithin(vec(0, 0), 1, nil); ok {
+			t.Fatalf("%s: NearestWithin on empty index returned ok", idx.Kind())
+		}
+		if _, _, ok := idx.NearestWhere(vec(0, 0), nil); ok {
+			t.Fatalf("%s: NearestWhere on empty index returned ok", idx.Kind())
+		}
+	}
+}
+
+func TestGridInsertRemove(t *testing.T) {
+	g := NewGrid(1.0)
+	g.Insert(1, vec(0.5, 0.5))
+	g.Insert(2, vec(5.5, 5.5))
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if id, d, ok := g.NearestWithin(vec(0.4, 0.5), 1, nil); !ok || id != 1 || math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("NearestWithin = (%d, %v, %v), want cell 1 at 0.1", id, d, ok)
+	}
+	g.Remove(1, vec(0.5, 0.5))
+	if g.Len() != 1 {
+		t.Fatalf("Len after remove = %d, want 1", g.Len())
+	}
+	if _, _, ok := g.NearestWithin(vec(0.4, 0.5), 1, nil); ok {
+		t.Fatal("removed seed still found within radius")
+	}
+	if id, _, ok := g.NearestWhere(vec(0.4, 0.5), nil); !ok || id != 2 {
+		t.Fatalf("NearestWhere after remove = (%d, %v), want cell 2", id, ok)
+	}
+	// Removing a seed twice, or one that was never inserted, is a no-op.
+	g.Remove(1, vec(0.5, 0.5))
+	g.Remove(99, vec(7, 7))
+	if g.Len() != 1 {
+		t.Fatalf("Len after no-op removes = %d, want 1", g.Len())
+	}
+}
+
+func TestGridBucketBoundaries(t *testing.T) {
+	g := NewGrid(1.0)
+	// Seeds exactly on bucket boundaries, including negative coords.
+	g.Insert(1, vec(0, 0))
+	g.Insert(2, vec(1, 0))
+	g.Insert(3, vec(-1, 0))
+	g.Insert(4, vec(-2.5, 0))
+
+	// A probe at distance exactly r must still find the seed (the
+	// absorb condition of the core algorithm is d ≤ r inclusive).
+	if id, d, ok := g.NearestWithin(vec(2, 0), 1, nil); !ok || id != 2 || d != 1 {
+		t.Fatalf("exact-radius probe = (%d, %v, %v), want cell 2 at 1", id, d, ok)
+	}
+	// Equidistant seeds break the tie toward the lowest ID.
+	if id, d, ok := g.NearestWithin(vec(0.5, 0), 1, nil); !ok || id != 1 || d != 0.5 {
+		t.Fatalf("tie probe = (%d, %v, %v), want cell 1 at 0.5", id, d, ok)
+	}
+	// A probe sitting exactly on a boundary sees both sides.
+	if id, _, ok := g.NearestWithin(vec(-1.8, 0), 1, nil); !ok || id != 4 {
+		t.Fatalf("negative-coord probe = (%d, %v), want cell 4", id, ok)
+	}
+}
+
+func TestGridNearestWhere(t *testing.T) {
+	g := NewGrid(1.0)
+	g.Insert(1, vec(0, 0))
+	g.Insert(2, vec(10, 0))
+	g.Insert(3, vec(10.5, 0))
+	g.Insert(4, vec(-40, 0))
+
+	// Unrestricted: nearest overall.
+	if id, d, ok := g.NearestWhere(vec(0.25, 0), nil); !ok || id != 1 || d != 0.25 {
+		t.Fatalf("NearestWhere = (%d, %v, %v), want cell 1", id, d, ok)
+	}
+	// Predicate excludes the near seed: the shell search must keep
+	// expanding (far past the 3^d neighborhood) to the admissible one.
+	not1 := func(id int64) bool { return id != 1 }
+	if id, d, ok := g.NearestWhere(vec(0.25, 0), not1); !ok || id != 2 || d != 9.75 {
+		t.Fatalf("NearestWhere(≠1) = (%d, %v, %v), want cell 2 at 9.75", id, d, ok)
+	}
+	// Nothing admissible.
+	if _, _, ok := g.NearestWhere(vec(0, 0), func(int64) bool { return false }); ok {
+		t.Fatal("NearestWhere with rejecting predicate returned ok")
+	}
+	// A probe far from every seed exercises the direct-scan fallback
+	// (the shell window quickly exceeds the occupied bucket count).
+	if id, _, ok := g.NearestWhere(vec(-39, 200), nil); !ok || id != 4 {
+		t.Fatalf("far probe = (%d, %v), want cell 4", id, ok)
+	}
+}
+
+func TestGridVectorlessEntries(t *testing.T) {
+	tokens := func(toks ...string) stream.Point {
+		set := map[string]struct{}{}
+		for _, tok := range toks {
+			set[tok] = struct{}{}
+		}
+		return stream.Point{Tokens: set}
+	}
+	g := NewGrid(0.5)
+	l := NewLinear()
+	for id, p := range map[int64]stream.Point{
+		1: tokens("a", "b"),
+		2: vec(1, 1),
+		3: tokens("a", "c"),
+	} {
+		g.Insert(id, p)
+		l.Insert(id, p)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	// Token-set entries never answer numeric probes...
+	if id, _, ok := g.NearestWhere(vec(1, 1), nil); !ok || id != 2 {
+		t.Fatalf("numeric NearestWhere = (%d, %v), want cell 2", id, ok)
+	}
+	// ...but token-set probes reach them, with the same answers the
+	// linear scan gives (Jaccard distance, lowest-ID tie-break).
+	probe := tokens("a", "b", "d")
+	gid, gd, gok := g.NearestWithin(probe, 0.9, nil)
+	lid, ld, lok := l.NearestWithin(probe, 0.9, nil)
+	if !gok || gid != 1 || gok != lok || gid != lid || gd != ld {
+		t.Fatalf("token probe: grid (%d, %v, %v) vs linear (%d, %v, %v)", gid, gd, gok, lid, ld, lok)
+	}
+	gid, gd, gok = g.NearestWhere(probe, func(id int64) bool { return id != 1 })
+	lid, ld, lok = l.NearestWhere(probe, func(id int64) bool { return id != 1 })
+	if !gok || gid != 3 || gok != lok || gid != lid || gd != ld {
+		t.Fatalf("token NearestWhere: grid (%d, %v, %v) vs linear (%d, %v, %v)", gid, gd, gok, lid, ld, lok)
+	}
+	g.Remove(1, tokens("a", "b"))
+	if g.Len() != 2 {
+		t.Fatalf("Len after vectorless remove = %d, want 2", g.Len())
+	}
+	if _, _, ok := g.NearestWithin(tokens("a", "b"), 0.1, nil); ok {
+		t.Fatal("removed token-set seed still found")
+	}
+}
+
+func TestGridOnDistCallback(t *testing.T) {
+	g := NewGrid(1.0)
+	g.Insert(1, vec(0, 0))
+	g.Insert(2, vec(0.5, 0))
+	g.Insert(3, vec(20, 20)) // far outside the probe window
+	seen := map[int64]float64{}
+	if _, _, ok := g.NearestWithin(vec(0.25, 0), 1, func(id int64, d float64) { seen[id] = d }); !ok {
+		t.Fatal("probe failed")
+	}
+	if _, ok := seen[1]; !ok {
+		t.Fatal("onDist not called for cell 1")
+	}
+	if _, ok := seen[2]; !ok {
+		t.Fatal("onDist not called for cell 2")
+	}
+	if _, ok := seen[3]; ok {
+		t.Fatal("onDist called for a cell outside the probe window")
+	}
+}
+
+// TestGridMatchesLinear cross-checks the grid against the linear scan
+// on random point sets: every query must return the identical (id,
+// distance) answer. This is the index-level half of the equivalence
+// property (internal/core asserts the algorithm-level half).
+func TestGridMatchesLinear(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 5} {
+		rng := rand.New(rand.NewSource(int64(40 + dim)))
+		side := 0.8
+		g := NewGrid(side)
+		l := NewLinear()
+		n := 400
+		pts := make([]stream.Point, 0, n)
+		for i := 0; i < n; i++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.Float64()*20 - 10
+			}
+			p := stream.Point{Vector: v}
+			pts = append(pts, p)
+			g.Insert(int64(i), p)
+			l.Insert(int64(i), p)
+		}
+		// Random removals keep both sides in sync.
+		for i := 0; i < n/5; i++ {
+			id := int64(rng.Intn(n))
+			g.Remove(id, pts[id])
+			l.Remove(id, pts[id])
+		}
+		if g.Len() != l.Len() {
+			t.Fatalf("dim %d: Len mismatch grid %d linear %d", dim, g.Len(), l.Len())
+		}
+		pred := func(id int64) bool { return id%3 != 0 }
+		for q := 0; q < 200; q++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.Float64()*24 - 12
+			}
+			p := stream.Point{Vector: v}
+			gid, gd, gok := g.NearestWithin(p, side, nil)
+			lid, ld, lok := l.NearestWithin(p, side, nil)
+			if gok != lok || (gok && (gid != lid || gd != ld)) {
+				t.Fatalf("dim %d query %d: NearestWithin grid (%d,%v,%v) != linear (%d,%v,%v)",
+					dim, q, gid, gd, gok, lid, ld, lok)
+			}
+			gid, gd, gok = g.NearestWhere(p, pred)
+			lid, ld, lok = l.NearestWhere(p, pred)
+			if gok != lok || (gok && (gid != lid || gd != ld)) {
+				t.Fatalf("dim %d query %d: NearestWhere grid (%d,%v,%v) != linear (%d,%v,%v)",
+					dim, q, gid, gd, gok, lid, ld, lok)
+			}
+		}
+	}
+}

@@ -61,6 +61,13 @@ type Options struct {
 	DeleteDelay float64
 	// MaxEvents caps the evolution log length. Zero keeps every event.
 	MaxEvents int
+	// IndexPolicy selects the nearest-seed index for the per-point hot
+	// path. The default (IndexAuto) uses a uniform grid hash over seed
+	// coordinates for low-dimensional Euclidean streams and a linear
+	// scan otherwise (token-set streams, high dimensionality). All
+	// policies produce identical clustering output; the knob exists
+	// for benchmarking and for overriding the auto heuristic.
+	IndexPolicy IndexPolicy
 }
 
 // toCore converts the public options to the internal configuration.
@@ -79,6 +86,7 @@ func (o Options) toCore() core.Config {
 		SweepInterval:     o.SweepInterval,
 		DeleteDelay:       o.DeleteDelay,
 		MaxEvents:         o.MaxEvents,
+		IndexPolicy:       o.IndexPolicy,
 	}
 	if o.EvolutionInterval < 0 {
 		cfg.EvolutionInterval = 0
