@@ -297,6 +297,79 @@ func BenchmarkIndexNearestSeed(b *testing.B) {
 	b.ReportMetric(bench.IndexSpeedup(results), "speedup")
 }
 
+// benchmarkIngestMode drives the bursty 2-D lattice throughput
+// workload through the public API in the given batch size (1 = plain
+// Insert). One op is one point, so with -benchmem the allocs/op column
+// is allocations per ingested point.
+func benchmarkIngestMode(b *testing.B, batchSize int) {
+	const rate = 1000.0
+	warmup := 16000
+	pts := bench.ThroughputStream(warmup+200000, 1, rate)
+	opts := Options{
+		Radius: 1.0, Rate: rate, Decay: Decay{A: 0.99995, Lambda: rate},
+		Beta: 1e-4, Tau: 6.0, InitPoints: 500,
+		IndexPolicy: IndexGrid, EvolutionInterval: -1,
+	}
+	c, err := New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < warmup; i++ {
+		if err := c.Insert(pts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	measured := pts[warmup:]
+	nextTime := measured[len(measured)-1].Time
+	batch := make([]Point, 0, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := measured[i%len(measured)]
+		nextTime += 1 / rate
+		p.Time = nextTime
+		if batchSize <= 1 {
+			if err := c.Insert(p); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		batch = append(batch, p)
+		if len(batch) == batchSize || i == b.N-1 {
+			if err := c.InsertBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+}
+
+// BenchmarkInsertBatch compares batched ingestion against per-point
+// ingestion on the bursty 2-D lattice workload (≈1600 simultaneously
+// active cells). The per-point and batch-256 sub-benchmarks measure
+// steady-state cost per point through the public API; the comparison
+// sub-benchmark runs the paired experiment behind `edmbench
+// throughput` and reports both modes' throughput plus the speedup.
+func BenchmarkInsertBatch(b *testing.B) {
+	b.Run("per-point", func(b *testing.B) { benchmarkIngestMode(b, 1) })
+	b.Run("batch-256", func(b *testing.B) { benchmarkIngestMode(b, bench.ThroughputBatchSize) })
+	b.Run("comparison", func(b *testing.B) {
+		s := benchScale()
+		var rep bench.ThroughputReport
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = bench.RunThroughput(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rep.PerPoint.PointsPerSec, "perpoint_pts/sec")
+		b.ReportMetric(rep.Batch.PointsPerSec, "batch_pts/sec")
+		b.ReportMetric(rep.Batch.AllocsPerPoint, "batch_allocs/pt")
+		b.ReportMetric(rep.Speedup, "speedup")
+	})
+}
+
 // BenchmarkInsert measures the raw per-point insertion cost of
 // EDMStream (the quantity behind the paper's "7–23 µs per update"
 // claim), on the KDD-like workload.
@@ -364,4 +437,3 @@ func BenchmarkSnapshot(b *testing.B) {
 		}
 	}
 }
-

@@ -26,6 +26,15 @@ func New(opts Options) (*Clusterer, error) {
 // are rejected without changing the clusterer's state.
 func (c *Clusterer) Insert(p Point) error { return c.core.Insert(p) }
 
+// InsertBatch consumes a batch of stream points in order. It produces
+// exactly the same clustering as inserting the points one by one —
+// identical snapshots, cells and evolution events — but amortizes the
+// per-point bookkeeping, which makes it the preferred ingestion call
+// when points arrive in groups (network reads, log segments, bursty
+// sources). Validation is all-or-nothing: if any point is invalid the
+// whole batch is rejected with no state change.
+func (c *Clusterer) InsertBatch(pts []Point) error { return c.core.InsertBatch(pts) }
+
 // Snapshot refreshes and returns the current clustering: the clusters
 // (maximal strongly dependent subtrees of the DP-Tree), the τ used to
 // separate them, and cell counts.

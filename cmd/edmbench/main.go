@@ -6,7 +6,7 @@
 //
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
-//	             ablation, index, all
+//	             ablation, index, throughput, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -21,10 +21,16 @@ import (
 	"github.com/densitymountain/edmstream/internal/bench"
 )
 
+// throughputJSON is the artifact path of the throughput experiment
+// (set by the -json flag).
+var throughputJSON string
+
 func main() {
 	points := flag.Int("points", 20000, "stream length per dataset")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic generators")
 	rate := flag.Float64("rate", 1000, "arrival rate in points per second")
+	flag.StringVar(&throughputJSON, "json", "BENCH_throughput.json",
+		"path of the machine-readable artifact the throughput experiment writes (empty disables it)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -58,6 +64,8 @@ experiments:
   fig17     effect of the cluster-cell radius (Fig. 17 a-b)
   ablation  extra design-choice studies
   index     nearest-seed index: grid vs linear insert throughput
+  throughput  ingestion: per-point Insert vs batched InsertBatch
+              (writes the machine-readable BENCH_throughput.json artifact)
   all       run every experiment
 
 flags:
@@ -182,8 +190,20 @@ func run(id string, s bench.Scale) error {
 			return err
 		}
 		fmt.Print(bench.FormatIndexBench(results))
+	case "throughput":
+		rep, err := bench.RunThroughput(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(rep))
+		if throughputJSON != "" {
+			if err := bench.WriteThroughputJSON(throughputJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", throughputJSON)
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

@@ -26,6 +26,11 @@
 //	    fmt.Println(ev)
 //	}
 //
+// When points arrive in groups (network reads, log segments, bursty
+// sources), feed them through InsertBatch instead of point-by-point
+// Insert: it produces exactly the same clustering while amortizing the
+// per-point bookkeeping across each batch.
+//
 // The examples/ directory contains runnable programs: a minimal
 // quickstart, cluster-evolution tracking on the SDS synthetic stream,
 // the news-recommendation use case on a Jaccard text stream, and an

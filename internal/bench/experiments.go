@@ -338,7 +338,9 @@ func RunFig11(name string, s Scale) ([]FilterResult, error) {
 	modes := []core.FilterMode{core.FilterNone, core.FilterDensity, core.FilterAll}
 	out := make([]FilterResult, 0, len(modes))
 	for _, mode := range modes {
-		cfg := core.Config{Radius: ds.SuggestedRadius, Rate: s.Rate, Tau: ds.SuggestedRadius * 4, InitPoints: 500}
+		// DetailedStats turns on the wall-clock instrumentation this
+		// experiment plots (it is off by default on the ingest path).
+		cfg := core.Config{Radius: ds.SuggestedRadius, Rate: s.Rate, Tau: ds.SuggestedRadius * 4, InitPoints: 500, DetailedStats: true}
 		cfg.SetFilters(mode)
 		edm, err := core.New(cfg)
 		if err != nil {

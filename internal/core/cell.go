@@ -107,21 +107,36 @@ func (c *Cell) absorb(now float64, d stream.Decay) {
 	c.count++
 }
 
-// settle re-anchors the stored density at time now without adding
-// weight. It keeps rhoTime from lagging arbitrarily far behind.
-func (c *Cell) settle(now float64, d stream.Decay) {
-	if now <= c.rhoTime {
-		return
-	}
-	c.rho = d.Scale(c.rho, now, c.rhoTime)
-	c.rhoTime = now
-}
-
 // distanceToPoint returns the distance from the cell's seed to p.
 func (c *Cell) distanceToPoint(p stream.Point) float64 { return c.seed.Distance(p) }
 
 // distanceToCell returns the distance between the two cells' seeds.
 func (c *Cell) distanceToCell(o *Cell) float64 { return c.seed.Distance(o.seed) }
+
+// distanceBelow reports whether the seed distance between c and o is
+// strictly below bound, returning the distance when it is. For numeric
+// seeds the comparison runs in the squared domain, so the square root
+// — a large share of a candidate examination on the dependency-update
+// hot path — is only taken for the candidates that actually link.
+func (c *Cell) distanceBelow(o *Cell, bound float64) (float64, bool) {
+	cv, ov := c.seed.Vector, o.seed.Vector
+	if cv == nil || ov == nil {
+		d := c.seed.Distance(o.seed)
+		if d < bound {
+			return d, true
+		}
+		return 0, false
+	}
+	var sum float64
+	for i := range cv {
+		d := cv[i] - ov[i]
+		sum += d * d
+	}
+	if sum < bound*bound {
+		return math.Sqrt(sum), true
+	}
+	return 0, false
+}
 
 // higherRanked reports whether cell a outranks cell b in density at
 // time now: strictly higher density, with cell ID as a deterministic

@@ -51,24 +51,6 @@ func TestCellDensityDecaysWithoutAbsorption(t *testing.T) {
 	}
 }
 
-func TestCellSettleDoesNotChangeDensity(t *testing.T) {
-	d := testDecay()
-	c := newCell(1, numericPoint(0, 0, 0, 0))
-	c.absorb(0.5, d)
-	before := c.Density(2.0, d)
-	c.settle(1.0, d)
-	after := c.Density(2.0, d)
-	if math.Abs(before-after) > 1e-12*before {
-		t.Errorf("settle changed observable density: %v vs %v", before, after)
-	}
-	// settle into the past is a no-op.
-	rho := c.rho
-	c.settle(0.5, d)
-	if c.rho != rho {
-		t.Error("settle into the past modified the cell")
-	}
-}
-
 func TestCellDistances(t *testing.T) {
 	c1 := newCell(1, numericPoint(0, 0, 0, 0))
 	c2 := newCell(2, numericPoint(1, 0, 3, 4))

@@ -14,10 +14,10 @@ import (
 // strongly dependent subtrees obtained by cutting every link longer
 // than τ (Def. 2).
 type dpTree struct {
-	cells map[int64]*Cell
 	// list holds the active cells in a slice for cache-friendly,
 	// deterministic iteration on the per-point hot path (dependency
-	// updates after an absorption).
+	// updates after an absorption). Membership is tracked by the cells'
+	// active flag; there is no separate map.
 	list  []*Cell
 	decay stream.Decay
 	// accel, when non-nil, is the stream's grid seed index (shared
@@ -26,11 +26,22 @@ type dpTree struct {
 	// cells — active and reservoir — so searches filter by membership
 	// in the tree.
 	accel index.SeedIndex
+	// slab resolves index candidates (cell IDs) to cells without a map
+	// lookup. It is the engine's cell slab, shared at construction.
+	slab *cellSlab
 	// byDensity buckets the active cells by their decay-normalized
 	// log-density key (floor(logNorm/densBucketWidth)), so the density
 	// filter of Theorem 1 can enumerate just the cells inside an
 	// absorption's density band instead of scanning every active cell.
 	byDensity map[int64][]*Cell
+
+	// higherPred is the reusable NearestWhere predicate of the indexed
+	// dependency search ("active, not the target, outranks the
+	// target"); predCell/predNow parameterize it per call so the hot
+	// path does not allocate a closure.
+	higherPred func(id int64) bool
+	predCell   *Cell
+	predNow    float64
 }
 
 // densBucketWidth is the log-density width of one density band bucket.
@@ -39,7 +50,12 @@ type dpTree struct {
 const densBucketWidth = 0.25
 
 func newDPTree(d stream.Decay) *dpTree {
-	return &dpTree{cells: make(map[int64]*Cell), byDensity: make(map[int64][]*Cell), decay: d}
+	t := &dpTree{byDensity: make(map[int64][]*Cell), decay: d}
+	t.higherPred = func(id int64) bool {
+		o := t.slab.get(id)
+		return o != nil && o.active && o != t.predCell && t.outranks(o, t.predCell, t.predNow)
+	}
+	return t
 }
 
 // densBucketOf returns the density bucket for a log-density key.
@@ -81,7 +97,7 @@ func (t *dpTree) rebucket(c *Cell) {
 }
 
 // size returns the number of active cells.
-func (t *dpTree) size() int { return len(t.cells) }
+func (t *dpTree) size() int { return len(t.list) }
 
 // insert adds a cell to the tree without wiring dependencies; callers
 // are responsible for calling computeDependency and retargetLower.
@@ -89,7 +105,6 @@ func (t *dpTree) insert(c *Cell) {
 	c.active = true
 	c.treeIdx = len(t.list)
 	t.list = append(t.list, c)
-	t.cells[c.id] = c
 	t.densInsert(c)
 }
 
@@ -109,7 +124,6 @@ func (t *dpTree) remove(c *Cell) {
 	t.list[c.treeIdx].treeIdx = c.treeIdx
 	t.list = t.list[:last]
 	t.densRemove(c)
-	delete(t.cells, c.id)
 }
 
 // link sets c's dependency to dep at distance delta, maintaining the
@@ -238,15 +252,14 @@ func (t *dpTree) computeDependencyIndexed(c *Cell, now float64) {
 		t.linkPick(c, pick)
 		return
 	}
-	id, d, ok := t.accel.NearestWhere(c.seed, func(id int64) bool {
-		o, active := t.cells[id]
-		return active && id != c.id && t.outranks(o, c, now)
-	})
+	t.predCell, t.predNow = c, now
+	id, d, ok := t.accel.NearestWhere(c.seed, t.higherPred)
+	t.predCell = nil
 	if !ok {
 		t.unlink(c)
 		return
 	}
-	t.link(c, t.cells[id], d)
+	t.link(c, t.slab.get(id), d)
 }
 
 // retargetLower checks every active cell ranked below c and relinks it
@@ -263,8 +276,7 @@ func (t *dpTree) retargetLower(c *Cell, now float64) {
 		if t.outranks(o, c, now) {
 			continue
 		}
-		d := o.distanceToCell(c)
-		if d < o.delta {
+		if d, below := o.distanceBelow(c, o.delta); below {
 			t.link(o, c, d)
 		}
 	}
@@ -284,7 +296,7 @@ func (t *dpTree) subtree(c *Cell) []*Cell {
 // root returns the cell with the highest density (the cell without a
 // dependency). Returns nil for an empty tree.
 func (t *dpTree) root() *Cell {
-	for _, c := range t.cells {
+	for _, c := range t.list {
 		if c.dep == nil {
 			return c
 		}
@@ -308,7 +320,7 @@ func (t *dpTree) peakOf(c *Cell, tau float64) *Cell {
 // its member cells (peak included).
 func (t *dpTree) msdSubtrees(tau float64) map[*Cell][]*Cell {
 	peaks := make(map[*Cell][]*Cell)
-	memo := make(map[int64]*Cell, len(t.cells))
+	memo := make(map[int64]*Cell, len(t.list))
 	var findPeak func(c *Cell) *Cell
 	findPeak = func(c *Cell) *Cell {
 		if p, ok := memo[c.id]; ok {
@@ -323,7 +335,7 @@ func (t *dpTree) msdSubtrees(tau float64) map[*Cell][]*Cell {
 		memo[c.id] = p
 		return p
 	}
-	for _, c := range t.cells {
+	for _, c := range t.list {
 		p := findPeak(c)
 		peaks[p] = append(peaks[p], c)
 	}
@@ -335,7 +347,7 @@ func (t *dpTree) msdSubtrees(tau float64) map[*Cell][]*Cell {
 // (empty string when the tree is consistent).
 func (t *dpTree) checkInvariants(now float64) string {
 	roots := 0
-	for _, c := range t.cells {
+	for _, c := range t.list {
 		if !c.active {
 			return "inactive cell present in DP-Tree"
 		}
@@ -346,7 +358,7 @@ func (t *dpTree) checkInvariants(now float64) string {
 			}
 			continue
 		}
-		if _, ok := t.cells[c.dep.id]; !ok {
+		if !c.dep.active {
 			return "cell depends on a cell outside the DP-Tree"
 		}
 		if !higherRanked(c.dep, c, now, t.decay) {
@@ -359,7 +371,7 @@ func (t *dpTree) checkInvariants(now float64) string {
 			return "negative or NaN dependent distance"
 		}
 	}
-	if len(t.cells) > 0 && roots == 0 {
+	if len(t.list) > 0 && roots == 0 {
 		return "DP-Tree has no root"
 	}
 	// Every root must be maximal: no active cell may outrank it at a
@@ -368,11 +380,11 @@ func (t *dpTree) checkInvariants(now float64) string {
 	// root; streams mixing numeric and token-set points legitimately
 	// hold one root per metric space, since cross-type distances are
 	// infinite.
-	for _, c := range t.cells {
+	for _, c := range t.list {
 		if c.dep != nil {
 			continue
 		}
-		for _, o := range t.cells {
+		for _, o := range t.list {
 			if o == c || !higherRanked(o, c, now, t.decay) {
 				continue
 			}
@@ -382,7 +394,7 @@ func (t *dpTree) checkInvariants(now float64) string {
 		}
 	}
 	// Acyclicity: walking up from any cell must terminate.
-	for _, c := range t.cells {
+	for _, c := range t.list {
 		seen := map[int64]bool{}
 		for cur := c; cur != nil; cur = cur.dep {
 			if seen[cur.id] {
@@ -391,15 +403,9 @@ func (t *dpTree) checkInvariants(now float64) string {
 			seen[cur.id] = true
 		}
 	}
-	if len(t.list) != len(t.cells) {
-		return "active cell list and map sizes differ"
-	}
 	for i, c := range t.list {
 		if c.treeIdx != i {
 			return "active cell list index out of sync"
-		}
-		if t.cells[c.id] != c {
-			return "active cell list holds a cell missing from the map"
 		}
 	}
 	inBuckets := 0
@@ -417,8 +423,8 @@ func (t *dpTree) checkInvariants(now float64) string {
 			}
 		}
 	}
-	if inBuckets != len(t.cells) {
-		return "density band index and cell map sizes differ"
+	if inBuckets != len(t.list) {
+		return "density band index and active cell list sizes differ"
 	}
 	return ""
 }

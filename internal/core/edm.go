@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -11,8 +13,9 @@ import (
 )
 
 // EDMStream is the density-mountain stream clustering algorithm of
-// Sec. 4. It consumes a timestamped point stream through Insert and can
-// be queried at any time for the current clustering (Snapshot), the
+// Sec. 4. It consumes a timestamped point stream through Insert (or
+// InsertBatch, which amortizes the per-point bookkeeping) and can be
+// queried at any time for the current clustering (Snapshot), the
 // decision graph (DecisionGraph) and the cluster evolution log
 // (Events). EDMStream is not safe for concurrent use; wrap it in a
 // mutex if multiple goroutines insert points.
@@ -21,8 +24,9 @@ type EDMStream struct {
 
 	tree *dpTree
 	res  *reservoir
-	// cells indexes every cluster-cell (active and inactive) by ID.
-	cells map[int64]*Cell
+	// cells indexes every cluster-cell (active and inactive) by ID in
+	// a dense ID-indexed slab (see cellSlab).
+	cells cellSlab
 	// seedIdx indexes every cell's seed for nearest-seed probes. It is
 	// resolved lazily from the first point (grid for low-dimensional
 	// Euclidean streams, linear scan otherwise — see IndexPolicy).
@@ -43,6 +47,21 @@ type EDMStream struct {
 	lastSnapshot  Snapshot
 
 	stats Stats
+
+	// onProbe is the reusable nearest-seed distance callback: it stamps
+	// measured distances onto cells for the triangle-inequality filter.
+	// probeStamp parameterizes it per probe so the hot path does not
+	// allocate a closure per insert.
+	onProbe    func(id int64, d float64)
+	probeStamp int64
+
+	// Scratch buffers reused across calls so steady-state ingestion
+	// does not allocate: one backs single-point Inserts, demote/repair
+	// back the sweep, ordered backs sortedCells.
+	one     [1]stream.Point
+	demote  []*Cell
+	repair  []*Cell
+	ordered []*Cell
 }
 
 // New creates an EDMStream instance with the given configuration.
@@ -51,14 +70,21 @@ func New(cfg Config) (*EDMStream, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	return &EDMStream{
+	e := &EDMStream{
 		cfg:     cfg,
 		tree:    newDPTree(cfg.Decay),
 		res:     newReservoir(),
-		cells:   make(map[int64]*Cell),
 		lnDecay: cfg.Decay.Lambda * math.Log(1/cfg.Decay.A),
 		tracker: newEvolutionTracker(cfg.MaxEvents),
-	}, nil
+	}
+	e.tree.slab = &e.cells
+	e.onProbe = func(id int64, d float64) {
+		c := e.cells.get(id)
+		c.lastDist = d
+		c.lastDistStamp = e.probeStamp
+		e.stats.SeedCandidates++
+	}
+	return e, nil
 }
 
 // maxAutoGridDim is the largest stream dimensionality for which
@@ -102,11 +128,11 @@ func (e *EDMStream) IndexKind() string {
 	return e.seedIdx.Kind()
 }
 
-// addCell registers a newly created cell in the ID index and the seed
+// addCell registers a newly created cell in the cell slab and the seed
 // index, and stamps its decay-normalized log-density key.
 func (e *EDMStream) addCell(c *Cell) {
 	e.ensureIndex(c.seed)
-	e.cells[c.id] = c
+	e.cells.put(c)
 	e.seedIdx.Insert(c.id, c.seed)
 	e.refreshLogNorm(c)
 }
@@ -114,12 +140,11 @@ func (e *EDMStream) addCell(c *Cell) {
 // removeCell unregisters a deleted cell.
 func (e *EDMStream) removeCell(c *Cell) {
 	e.seedIdx.Remove(c.id, c.seed)
-	delete(e.cells, c.id)
+	e.cells.remove(c.id)
 }
 
 // refreshLogNorm recomputes c's decay-normalized log-density key after
-// its stored density changed (see Cell.logNorm). settle() preserves
-// the timely density exactly, so only absorptions need a refresh.
+// its stored density changed (see Cell.logNorm).
 func (e *EDMStream) refreshLogNorm(c *Cell) {
 	c.logNorm = math.Log(c.rho) + e.lnDecay*c.rhoTime
 }
@@ -166,68 +191,158 @@ func (e *EDMStream) Insert(p stream.Point) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	if p.Time > e.now {
-		e.now = p.Time
-	}
-	now := e.now
-	e.stats.Points++
-	e.ensureIndex(p)
-
-	start := time.Now()
-	cell, _, absorbed := e.nearestSeed(p)
-	e.stats.AssignTime += time.Since(start)
-
-	switch {
-	case !absorbed:
-		// No cell's seed is within Radius: the point seeds a new
-		// cluster-cell, cached in the outlier reservoir because of its
-		// low density.
-		c := newCell(e.nextCellID, p)
-		c.seed.Time = now
-		c.lastAbsorb = now
-		c.rhoTime = now
-		e.nextCellID++
-		e.addCell(c)
-		e.res.add(c)
-		e.stats.CellsCreated++
-		if e.initialized {
-			e.maybePromote(c, now)
-		}
-	default:
-		rhoBefore := cell.Density(now, e.cfg.Decay)
-		cell.absorb(now, e.cfg.Decay)
-		e.refreshLogNorm(cell)
-		if cell.active {
-			e.tree.rebucket(cell)
-		}
-		if !e.initialized {
-			break
-		}
-		if cell.active {
-			t0 := time.Now()
-			e.updateDependenciesAfterAbsorb(cell, rhoBefore, now)
-			e.stats.DependencyUpdateTime += time.Since(t0)
-		} else {
-			e.maybePromote(cell, now)
-		}
-	}
-
-	if !e.initialized {
-		if e.stats.Points >= int64(e.cfg.InitPoints) {
-			e.finalizeInit(now)
-		}
-		return nil
-	}
-
-	if now-e.lastSweep >= e.cfg.SweepInterval {
-		e.sweep(now)
-		e.lastSweep = now
-	}
-	if e.cfg.EvolutionInterval > 0 && now-e.lastEvolution >= e.cfg.EvolutionInterval {
-		e.refreshClustering(now)
-		e.lastEvolution = now
-	}
+	e.one[0] = p
+	e.ingest(e.one[:])
 	return nil
+}
+
+// InsertBatch consumes a batch of stream points in order. It is
+// equivalent to inserting the points one by one — identical cells,
+// snapshots and evolution events — but amortizes the per-point
+// bookkeeping: validation runs up front for the whole batch, and runs
+// of consecutive points absorbed by the same active cell share one
+// density-band dependency update, one log-density refresh and one
+// density-band rebucket instead of one each per point.
+//
+// Validation is all-or-nothing: if any point is invalid the whole
+// batch is rejected with no state change. An empty batch is a no-op.
+func (e *EDMStream) InsertBatch(pts []stream.Point) error {
+	for i := range pts {
+		if err := pts[i].Validate(); err != nil {
+			return fmt.Errorf("core: batch point %d rejected: %w", i, err)
+		}
+	}
+	e.ingest(pts)
+	return nil
+}
+
+// absorbRun tracks a run of consecutive points absorbed by the same
+// active cell. The run's dependency maintenance is deferred to
+// flushRun: because all densities decay at the same rate, the density
+// bands of the individual absorptions tile the run's combined band
+// exactly in the decay-normalized log domain, so one update over
+// [logBefore, logNorm) at the run's final time links exactly the cells
+// the per-point updates would have linked.
+type absorbRun struct {
+	cell *Cell
+	// logBefore is cell.logNorm before the run's first absorption (the
+	// lower edge of the combined density band).
+	logBefore float64
+	// stamp is stats.Points at the run's last probe; it keys the
+	// triangle-inequality filter's distance stamps.
+	stamp int64
+	// last is the stream time of the run's last absorption.
+	last float64
+}
+
+// ingest drives the point loop shared by Insert and InsertBatch. All
+// points must be pre-validated. Runs of consecutive points absorbed by
+// the same active cell are coalesced; every other event — new cells,
+// inactive-cell absorptions (which may cross the promotion threshold
+// at a specific point), sweeps, evolution checks and initialization —
+// flushes the open run first so it observes exactly the state a
+// point-by-point ingestion would have produced.
+func (e *EDMStream) ingest(pts []stream.Point) {
+	var run absorbRun
+	detailed := e.cfg.DetailedStats
+	for i := range pts {
+		p := pts[i]
+		if p.Time > e.now {
+			e.now = p.Time
+		}
+		now := e.now
+		e.stats.Points++
+		e.ensureIndex(p)
+
+		var start time.Time
+		if detailed {
+			start = time.Now()
+		}
+		cell, _, absorbed := e.nearestSeed(p)
+		if detailed {
+			e.stats.AssignTime += time.Since(start)
+		}
+
+		switch {
+		case !absorbed:
+			// No cell's seed is within Radius: the point seeds a new
+			// cluster-cell, cached in the outlier reservoir because of
+			// its low density.
+			e.flushRun(&run)
+			c := newCell(e.nextCellID, p)
+			c.seed.Time = now
+			c.lastAbsorb = now
+			c.rhoTime = now
+			e.nextCellID++
+			e.addCell(c)
+			e.res.add(c)
+			e.stats.CellsCreated++
+			if e.initialized {
+				e.maybePromote(c, now)
+			}
+		case cell == run.cell:
+			// Same active cell as the open run: fold the point in and
+			// leave the dependency maintenance to the flush.
+			cell.absorb(now, e.cfg.Decay)
+			run.stamp = e.stats.Points
+			run.last = now
+		case e.initialized && cell.active:
+			e.flushRun(&run)
+			run = absorbRun{cell: cell, logBefore: cell.logNorm, stamp: e.stats.Points, last: now}
+			cell.absorb(now, e.cfg.Decay)
+		default:
+			// Inactive (or pre-initialization) cells cross the
+			// promotion threshold at a specific point, so their
+			// absorptions are never coalesced.
+			e.flushRun(&run)
+			cell.absorb(now, e.cfg.Decay)
+			e.refreshLogNorm(cell)
+			if e.initialized {
+				e.maybePromote(cell, now)
+			}
+		}
+
+		if !e.initialized {
+			if e.stats.Points >= int64(e.cfg.InitPoints) {
+				e.finalizeInit(now)
+			}
+			continue
+		}
+
+		if now-e.lastSweep >= e.cfg.SweepInterval {
+			e.flushRun(&run)
+			e.sweep(now)
+			e.lastSweep = now
+		}
+		if e.cfg.EvolutionInterval > 0 && now-e.lastEvolution >= e.cfg.EvolutionInterval {
+			e.flushRun(&run)
+			e.refreshClustering(now)
+			e.lastEvolution = now
+		}
+	}
+	e.flushRun(&run)
+}
+
+// flushRun applies the deferred maintenance of an open absorption run:
+// the cell's log-density key is refreshed, it moves to its current
+// density bucket, and one density-band dependency update covers every
+// absorption of the run.
+func (e *EDMStream) flushRun(run *absorbRun) {
+	c := run.cell
+	if c == nil {
+		return
+	}
+	run.cell = nil
+	e.refreshLogNorm(c)
+	e.tree.rebucket(c)
+	var start time.Time
+	if e.cfg.DetailedStats {
+		start = time.Now()
+	}
+	e.updateDependenciesBand(c, run.logBefore, run.last, run.stamp)
+	if e.cfg.DetailedStats {
+		e.stats.DependencyUpdateTime += time.Since(start)
+	}
 }
 
 // nearestSeed returns the cell whose seed is closest to p among those
@@ -238,17 +353,12 @@ func (e *EDMStream) Insert(p stream.Point) error {
 // in the probed buckets are stamped, which merely narrows where that
 // filter applies (Theorem 2 skips are optional, never required).
 func (e *EDMStream) nearestSeed(p stream.Point) (*Cell, float64, bool) {
-	stamp := e.stats.Points
-	id, d, ok := e.seedIdx.NearestWithin(p, e.cfg.Radius, func(id int64, d float64) {
-		c := e.cells[id]
-		c.lastDist = d
-		c.lastDistStamp = stamp
-		e.stats.SeedCandidates++
-	})
+	e.probeStamp = e.stats.Points
+	id, d, ok := e.seedIdx.NearestWithin(p, e.cfg.Radius, e.onProbe)
 	if !ok {
 		return nil, 0, false
 	}
-	return e.cells[id], d, true
+	return e.cells.get(id), d, true
 }
 
 // logBandSlack widens the density filter's log-domain band to absorb
@@ -257,18 +367,19 @@ func (e *EDMStream) nearestSeed(p stream.Point) (*Cell, float64, bool) {
 // conservative (skipping is only ever an optimization, per Theorem 1).
 const logBandSlack = 1e-6
 
-// updateDependenciesAfterAbsorb restores the DP-Tree invariants after
-// cell c absorbed a point at time now, applying the density filter
-// (Theorem 1) and the triangle-inequality filter (Theorem 2) to skip
-// cells whose dependency cannot have changed.
+// updateDependenciesBand restores the DP-Tree invariants after cell c
+// absorbed one or more points, the last at stream time now, applying
+// the density filter (Theorem 1) and the triangle-inequality filter
+// (Theorem 2) to skip cells whose dependency cannot have changed.
 //
-// The density filter runs in the decay-normalized log domain: every
-// cell decays at the same rate, so densities at the common time `now`
-// compare exactly as the cells' logNorm keys do, and the per-candidate
-// test is two float comparisons instead of an exponentiation.
-func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, now float64) {
-	rhoAfter := c.Density(now, e.cfg.Decay)
-	stamp := e.stats.Points
+// The density band is expressed directly in the decay-normalized log
+// domain: every cell decays at the same rate, so densities at a common
+// time compare exactly as the cells' logNorm keys do. logBefore is c's
+// key before the absorption(s); c.logNorm is its refreshed key. Using
+// the stored keys (instead of re-deriving the band from densities at
+// now) costs no logarithms and makes consecutive per-point bands tile
+// a coalesced run's combined band float-exactly.
+func (e *EDMStream) updateDependenciesBand(c *Cell, logBefore, now float64, stamp int64) {
 	distToC := c.lastDist
 	haveDistToC := c.lastDistStamp == stamp
 
@@ -285,8 +396,7 @@ func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, no
 		if !e.tree.outranks(c, o, now) {
 			return
 		}
-		d := o.distanceToCell(c)
-		if d < o.delta {
+		if d, below := o.distanceBelow(c, o.delta); below {
 			e.tree.link(o, c, d)
 			e.stats.DependencyRelinks++
 		}
@@ -294,18 +404,16 @@ func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, no
 
 	e.stats.DependencyCandidates += int64(len(e.tree.list) - 1)
 	if e.cfg.Filters&FilterDensity != 0 {
-		// Theorem 1: only cells whose density at `now` lies in
-		// [ρ_before, ρ_after) can see their dependency move — c
-		// outranked everything below the band already, and still does
-		// not outrank anything at or above it. The band translates to
-		// a range of logNorm keys (densities at a common time compare
-		// as the keys do; the slack absorbs log rounding, erring
+		// Theorem 1: only cells whose density lies in the band the
+		// absorption(s) moved c across can see their dependency move —
+		// c outranked everything below the band already, and still
+		// does not outrank anything at or above it. The band is a range
+		// of logNorm keys (the slack absorbs log rounding, erring
 		// toward examining), so only the density buckets covering the
 		// band are enumerated — every skipped cell is filtered by
 		// density without being touched.
-		base := e.lnDecay * now
-		bandLo := math.Log(rhoBefore) + base - logBandSlack
-		bandHi := math.Log(rhoAfter) + base + logBandSlack
+		bandLo := logBefore - logBandSlack
+		bandHi := c.logNorm + logBandSlack
 		examined := int64(0)
 		inBand := func(bucket []*Cell) {
 			for _, o := range bucket {
@@ -320,10 +428,9 @@ func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, no
 				examine(o)
 			}
 		}
-		// Enumerate the bucket range when it is narrow; otherwise (wide
-		// or unbounded bands — a fully decayed cell makes bandLo −Inf)
-		// walk the occupied buckets instead. Both enumerate a superset
-		// of the band; the per-cell check above stays authoritative.
+		// Enumerate the bucket range when it is narrow; otherwise walk
+		// the occupied buckets instead. Both enumerate a superset of
+		// the band; the per-cell check above stays authoritative.
 		loF := math.Floor(bandLo / densBucketWidth)
 		hiF := math.Floor(bandHi / densBucketWidth)
 		if hiF-loF < float64(len(e.tree.byDensity)) {
@@ -346,10 +453,13 @@ func (e *EDMStream) updateDependenciesAfterAbsorb(c *Cell, rhoBefore float64, no
 		}
 	}
 
-	// c's own dependency: its higher-density set can only have shrunk.
-	// If the previous dependency still outranks c it remains the
-	// nearest higher-density cell; otherwise recompute from scratch.
-	if c.dep == nil || !e.tree.outranks(c.dep, c, now) {
+	// c's own dependency: absorbing only raises c's decay-normalized
+	// rank, so its higher-density set can only have shrunk. A root
+	// stays a root (nothing re-enters the shrunk set); a linked cell
+	// keeps its dependency if that dependency still outranks it (the
+	// nearest member of a set remains nearest in any subset), and
+	// recomputes from scratch otherwise.
+	if c.dep != nil && !e.tree.outranks(c.dep, c, now) {
 		e.tree.computeDependency(c, now)
 	}
 }
@@ -361,13 +471,18 @@ func (e *EDMStream) maybePromote(c *Cell, now float64) {
 	if c.active || c.Density(now, e.cfg.Decay) < e.activeThreshold() {
 		return
 	}
-	t0 := time.Now()
+	var start time.Time
+	if e.cfg.DetailedStats {
+		start = time.Now()
+	}
 	e.res.remove(c)
 	e.tree.insert(c)
 	e.tree.computeDependency(c, now)
 	e.tree.retargetLower(c, now)
 	e.stats.Promotions++
-	e.stats.DependencyUpdateTime += time.Since(t0)
+	if e.cfg.DetailedStats {
+		e.stats.DependencyUpdateTime += time.Since(start)
+	}
 }
 
 // sweep performs periodic maintenance: active cells whose density
@@ -375,40 +490,62 @@ func (e *EDMStream) maybePromote(c *Cell, now float64) {
 // the outlier reservoir (cluster-cell decay, Sec. 4.3), and inactive
 // cells that have not absorbed points for ΔTdel are deleted
 // (memory recycling, Sec. 4.4).
+//
+// Below-threshold cells are found through the density band index: in
+// the decay-normalized log domain the threshold at `now` is a single
+// key, so the sweep enumerates the occupied density buckets and scans
+// cells only in those at or below the key — cells in higher buckets
+// (the vast majority on a healthy stream) are never touched, and the
+// occupied-bucket count is typically far below the cell count. Cells
+// within the rounding slack of the key fall through to the exact
+// density comparison.
 func (e *EDMStream) sweep(now float64) {
 	threshold := e.activeThreshold()
-
-	// Because every cell's dependency outranks it, any cell below the
-	// threshold can be demoted without leaving dangling dependencies:
-	// all its successors are below the threshold too.
-	var demote []*Cell
-	for _, c := range e.tree.list {
-		if c.Density(now, e.cfg.Decay) < threshold {
-			demote = append(demote, c)
+	key := math.Log(threshold) + e.lnDecay*now
+	hiBucket := densBucketOf(key + logBandSlack)
+	demote := e.demote[:0]
+	for b, bucket := range e.tree.byDensity {
+		if b > hiBucket {
+			continue
+		}
+		for _, c := range bucket {
+			if c.logNorm < key-logBandSlack {
+				demote = append(demote, c)
+			} else if c.logNorm < key+logBandSlack && c.Density(now, e.cfg.Decay) < threshold {
+				demote = append(demote, c)
+			}
 		}
 	}
+	// Bucket iteration order is not deterministic; demotion order is.
+	slices.SortFunc(demote, func(a, b *Cell) int { return cmp.Compare(a.id, b.id) })
+
+	// Because every cell's dependency outranks it, a demoted cell's
+	// dependents are below the threshold too and are demoted in the
+	// same sweep — so demotions cannot orphan an active cell, and
+	// cells that were already roots need no dependency search. The
+	// repair pass below is defensive: it recomputes only cells that
+	// verifiably lost their dependency to a demotion (possible in
+	// principle at the rounding slack's edge), not every dep-less cell.
+	repair := e.repair[:0]
 	for _, c := range demote {
+		for _, child := range c.children {
+			repair = append(repair, child)
+		}
 		e.tree.remove(c)
 		e.res.add(c)
 		e.stats.Demotions++
 	}
-	// Demotions may leave cells whose dependency was demoted; their
-	// dep pointers were cleared by remove, so recompute them.
-	if len(demote) > 0 {
-		for _, c := range e.tree.list {
-			if c.dep == nil {
-				e.tree.computeDependency(c, now)
-			}
+	for _, c := range repair {
+		if c.active && c.dep == nil {
+			e.tree.computeDependency(c, now)
 		}
 	}
+	e.demote = demote[:0]
+	e.repair = repair[:0]
 
 	for _, c := range e.res.expire(now, e.cfg.DeleteDelay) {
 		e.removeCell(c)
 		e.stats.Deletions++
-	}
-	// Re-anchor stored densities so rhoTime never lags far behind.
-	for _, c := range e.cells {
-		c.settle(now, e.cfg.Decay)
 	}
 }
 
@@ -462,13 +599,17 @@ func (e *EDMStream) finalizeInit(now float64) {
 	e.refreshClustering(now)
 }
 
-// sortedCells returns every cached cell ordered by ID.
+// sortedCells returns every cached cell ordered by ID. The slab is
+// ID-indexed, so the order falls out of a linear walk; the returned
+// slice is scratch owned by the engine and valid until the next call.
 func (e *EDMStream) sortedCells() []*Cell {
-	cells := make([]*Cell, 0, len(e.cells))
-	for _, c := range e.cells {
-		cells = append(cells, c)
+	cells := e.ordered[:0]
+	for _, c := range e.cells.byID {
+		if c != nil {
+			cells = append(cells, c)
+		}
 	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i].id < cells[j].id })
+	e.ordered = cells[:0]
 	return cells
 }
 
@@ -487,7 +628,7 @@ func (e *EDMStream) initialDecisionGraph(now float64) ([]DecisionPoint, []float6
 		if e.seedIdx != nil {
 			cid := c.id
 			if _, d, ok := e.seedIdx.NearestWhere(c.seed, func(id int64) bool {
-				return id != cid && e.tree.outranks(e.cells[id], c, now)
+				return id != cid && e.tree.outranks(e.cells.get(id), c, now)
 			}); ok {
 				best = d
 			}
@@ -633,28 +774,36 @@ func (e *EDMStream) CheckInvariants() error {
 	if msg := e.tree.checkInvariants(e.now); msg != "" {
 		return fmt.Errorf("core: invariant violation: %s", msg)
 	}
-	for id, c := range e.cells {
-		if c.id != id {
-			return fmt.Errorf("core: cell map key %d does not match cell id %d", id, c.id)
+	live := 0
+	for id, c := range e.cells.byID {
+		if c == nil {
+			continue
+		}
+		live++
+		if c.id != int64(id) {
+			return fmt.Errorf("core: cell slab slot %d holds cell id %d", id, c.id)
 		}
 		if c.active {
-			if _, ok := e.tree.cells[id]; !ok {
+			if c.treeIdx < 0 || c.treeIdx >= len(e.tree.list) || e.tree.list[c.treeIdx] != c {
 				return fmt.Errorf("core: active cell %d missing from DP-Tree", id)
 			}
 		} else {
-			if _, ok := e.res.cells[id]; !ok {
+			if _, ok := e.res.cells[c.id]; !ok {
 				return fmt.Errorf("core: inactive cell %d missing from reservoir", id)
 			}
 		}
 	}
-	if e.tree.size()+e.res.size() != len(e.cells) {
-		return fmt.Errorf("core: tree (%d) + reservoir (%d) != total cells (%d)", e.tree.size(), e.res.size(), len(e.cells))
+	if live != e.cells.len() {
+		return fmt.Errorf("core: cell slab count %d does not match live slots %d", e.cells.len(), live)
 	}
-	if e.seedIdx != nil && e.seedIdx.Len() != len(e.cells) {
-		return fmt.Errorf("core: seed index size %d != cell index size %d", e.seedIdx.Len(), len(e.cells))
+	if e.tree.size()+e.res.size() != e.cells.len() {
+		return fmt.Errorf("core: tree (%d) + reservoir (%d) != total cells (%d)", e.tree.size(), e.res.size(), e.cells.len())
 	}
-	if e.seedIdx == nil && len(e.cells) > 0 {
-		return fmt.Errorf("core: %d cells registered without a seed index", len(e.cells))
+	if e.seedIdx != nil && e.seedIdx.Len() != e.cells.len() {
+		return fmt.Errorf("core: seed index size %d != cell slab size %d", e.seedIdx.Len(), e.cells.len())
+	}
+	if e.seedIdx == nil && e.cells.len() > 0 {
+		return fmt.Errorf("core: %d cells registered without a seed index", e.cells.len())
 	}
 	return nil
 }

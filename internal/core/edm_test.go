@@ -55,13 +55,22 @@ func TestConfigValidate(t *testing.T) {
 		{Radius: 1, Tau: -1},
 		{Radius: 1, Alpha: 1.5},
 		{Radius: 1, InitPoints: -1},
-		{Radius: 1, EvolutionInterval: -1},
+		{Radius: 1, SweepInterval: -1},
 		{Radius: 1, DeleteDelay: -1},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("bad config %d accepted: %+v", i, cfg)
 		}
+	}
+	// A negative EvolutionInterval is the documented way to disable
+	// automatic evolution checks, not an error.
+	disabled := Config{Radius: 1, EvolutionInterval: -1}
+	if err := disabled.Validate(); err != nil {
+		t.Errorf("negative EvolutionInterval should disable tracking, got %v", err)
+	}
+	if got := disabled.withDefaults().EvolutionInterval; got != 0 {
+		t.Errorf("negative EvolutionInterval resolved to %v, want 0 (disabled)", got)
 	}
 	if _, err := New(Config{}); err == nil {
 		t.Error("New with zero config should fail (radius required)")
@@ -586,7 +595,7 @@ func TestDuplicateAndIdenticalPoints(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	pts := blobStream([][]float64{{0, 0}, {5, 5}}, 0.5, 2000, 1000, 12)
-	e, err := New(Config{Radius: 0.7, Tau: 2, InitPoints: 200})
+	e, err := New(Config{Radius: 0.7, Tau: 2, InitPoints: 200, DetailedStats: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 )
 
 // EventKind is one of the five cluster evolution activities of Table 1.
@@ -83,22 +85,30 @@ func newEvolutionTracker(maxEvents int) *evolutionTracker {
 func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []int {
 	ids := make([]int, len(partition))
 
-	// Overlap between every current cluster and every previous cluster.
+	// Overlap between every current cluster and every previous cluster,
+	// via an inverted cell → previous-cluster index: cost is one pass
+	// over the previous cells plus one over the current cells, instead
+	// of the current × previous quadratic set intersection.
+	prevOwner := make(map[int64]int)
+	for prevID, prevSet := range t.prev {
+		for cell := range prevSet {
+			prevOwner[cell] = prevID
+		}
+	}
 	type match struct {
 		cur, prevID, overlap int
 	}
 	var matches []match
+	counts := make(map[int]int)
 	for i, cur := range partition {
-		for prevID, prevSet := range t.prev {
-			ov := 0
-			for cell := range cur {
-				if prevSet[cell] {
-					ov++
-				}
+		clear(counts)
+		for cell := range cur {
+			if prevID, ok := prevOwner[cell]; ok {
+				counts[prevID]++
 			}
-			if ov > 0 {
-				matches = append(matches, match{cur: i, prevID: prevID, overlap: ov})
-			}
+		}
+		for prevID, ov := range counts {
+			matches = append(matches, match{cur: i, prevID: prevID, overlap: ov})
 		}
 	}
 	// Greedy best-overlap matching: the largest overlaps claim identity
@@ -204,12 +214,17 @@ func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []in
 		}
 	}
 
-	// Deterministic event order within the snapshot diff.
-	sort.Slice(events, func(a, b int) bool {
-		if events[a].Kind != events[b].Kind {
-			return events[a].Kind < events[b].Kind
+	// Deterministic event order within the snapshot diff: by kind, then
+	// numerically by source and target IDs (no formatting on this path
+	// — it runs at every clustering refresh).
+	slices.SortFunc(events, func(a, b Event) int {
+		if c := strings.Compare(string(a.Kind), string(b.Kind)); c != 0 {
+			return c
 		}
-		return fmt.Sprint(events[a].Sources, events[a].Targets) < fmt.Sprint(events[b].Sources, events[b].Targets)
+		if c := slices.Compare(a.Sources, b.Sources); c != 0 {
+			return c
+		}
+		return slices.Compare(a.Targets, b.Targets)
 	})
 	t.events = append(t.events, events...)
 	if t.maxEvents > 0 && len(t.events) > t.maxEvents {

@@ -74,12 +74,16 @@ func compareSnapshots(t *testing.T, grid, linear []Snapshot) {
 // dependency structure.
 func compareCells(t *testing.T, grid, linear *EDMStream) {
 	t.Helper()
-	if len(grid.cells) != len(linear.cells) {
-		t.Fatalf("cell counts differ: grid %d, linear %d", len(grid.cells), len(linear.cells))
+	if grid.cells.len() != linear.cells.len() {
+		t.Fatalf("cell counts differ: grid %d, linear %d", grid.cells.len(), linear.cells.len())
 	}
-	for id, gc := range grid.cells {
-		lc, ok := linear.cells[id]
-		if !ok {
+	for _, gc := range grid.cells.byID {
+		if gc == nil {
+			continue
+		}
+		id := gc.id
+		lc := linear.cells.get(id)
+		if lc == nil {
 			t.Fatalf("cell %d exists only in the grid run", id)
 		}
 		if gc.count != lc.count || gc.rho != lc.rho || gc.rhoTime != lc.rhoTime || gc.active != lc.active {
@@ -241,7 +245,7 @@ func TestIndexEquivalenceMixedStream(t *testing.T) {
 // token-set streams, and honoring explicit overrides.
 func TestIndexAutoSelection(t *testing.T) {
 	lowD := stream.Point{ID: 1, Vector: []float64{1, 2}, Time: 0, Label: stream.NoLabel}
-	highD := stream.Point{ID: 1, Vector: make([]float64, maxAutoGridDim + 1), Time: 0, Label: stream.NoLabel}
+	highD := stream.Point{ID: 1, Vector: make([]float64, maxAutoGridDim+1), Time: 0, Label: stream.NoLabel}
 	text := stream.Point{ID: 1, Tokens: map[string]struct{}{"a": {}}, Time: 0, Label: stream.NoLabel}
 
 	cases := []struct {

@@ -147,8 +147,9 @@ type Config struct {
 	// be indistinguishable from "use the default").
 	filtersSet bool
 	// EvolutionInterval is the stream-time interval (seconds) between
-	// evolution checks. Zero disables automatic tracking (evolution is
-	// still checked whenever Snapshot is called). Default 1.0.
+	// evolution checks. Zero means "use the default" (1.0); a negative
+	// value disables automatic tracking (evolution is still checked
+	// whenever Snapshot is called).
 	EvolutionInterval float64
 	// SweepInterval is the stream-time interval (seconds) between
 	// maintenance sweeps (cell deactivation and reservoir expiry).
@@ -166,6 +167,12 @@ type Config struct {
 	// low-dimensional Euclidean streams and the linear scan otherwise;
 	// both produce identical clustering output.
 	IndexPolicy IndexPolicy
+	// DetailedStats enables the wall-clock instrumentation behind
+	// Stats.AssignTime and Stats.DependencyUpdateTime (the Fig. 11
+	// quantities). It is off by default because the two time.Now()
+	// calls per point are measurable fixed overhead on the ingest hot
+	// path; the clustering output is identical either way.
+	DetailedStats bool
 }
 
 // SetFilters sets the filter mode explicitly, allowing FilterNone to be
@@ -200,6 +207,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EvolutionInterval == 0 {
 		c.EvolutionInterval = 1.0
+	} else if c.EvolutionInterval < 0 {
+		// Negative disables automatic evolution checks; the ingest loop
+		// treats a non-positive interval as "off".
+		c.EvolutionInterval = 0
 	}
 	if c.TauSelector == nil {
 		c.TauSelector = DefaultTauSelector

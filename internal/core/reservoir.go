@@ -1,11 +1,19 @@
 package core
 
+import (
+	"cmp"
+	"slices"
+)
+
 // reservoir is the outlier reservoir of Sec. 4.1/4.4: it caches
 // inactive cluster-cells (low timely-density cells) so they can either
 // absorb new points and re-enter the DP-Tree or, once outdated, be
 // deleted to recycle memory.
 type reservoir struct {
 	cells map[int64]*Cell
+	// scratch backs expire's result slice so periodic sweeps do not
+	// allocate; it is valid until the next expire call.
+	scratch []*Cell
 }
 
 func newReservoir() *reservoir {
@@ -29,16 +37,20 @@ func (r *reservoir) remove(c *Cell) {
 
 // expire removes and returns the outdated cells: inactive cells that
 // have not absorbed any point for at least deleteDelay seconds
-// (Sec. 4.4, Theorem 3).
+// (Sec. 4.4, Theorem 3). The result is ordered by cell ID (map
+// iteration is not deterministic) and backed by scratch space valid
+// until the next call.
 func (r *reservoir) expire(now, deleteDelay float64) []*Cell {
-	var expired []*Cell
+	expired := r.scratch[:0]
 	for _, c := range r.cells {
 		if now-c.lastAbsorb >= deleteDelay {
 			expired = append(expired, c)
 		}
 	}
+	slices.SortFunc(expired, func(a, b *Cell) int { return cmp.Compare(a.id, b.id) })
 	for _, c := range expired {
 		delete(r.cells, c.id)
 	}
+	r.scratch = expired[:0]
 	return expired
 }

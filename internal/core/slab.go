@@ -1,0 +1,47 @@
+package core
+
+// cellSlab indexes every live cluster-cell (active and inactive) by
+// ID. Cell IDs are allocated monotonically and never reused, so the
+// slab is a dense ID-indexed slice: resolving the cell behind an index
+// candidate is a bounds check and a slice load instead of a map
+// lookup, which matters on the per-point hot path where every probed
+// seed candidate and dependency-filter hit resolves a cell.
+//
+// Deleted IDs leave nil holes. The holes cost one pointer per cell
+// ever created — negligible next to the cells themselves, and the
+// price of keeping IDs stable (IDs appear in snapshots and break
+// distance ties, so reusing them would change clustering output).
+type cellSlab struct {
+	byID []*Cell
+	n    int
+}
+
+// get returns the cell with the given ID, or nil when no such live
+// cell exists.
+func (s *cellSlab) get(id int64) *Cell {
+	if id < 0 || id >= int64(len(s.byID)) {
+		return nil
+	}
+	return s.byID[id]
+}
+
+// put registers a cell under its ID, growing the slab as needed.
+func (s *cellSlab) put(c *Cell) {
+	for int64(len(s.byID)) <= c.id {
+		s.byID = append(s.byID, nil)
+	}
+	s.byID[c.id] = c
+	s.n++
+}
+
+// remove deletes the cell with the given ID, leaving a nil hole.
+func (s *cellSlab) remove(id int64) {
+	if s.get(id) == nil {
+		return
+	}
+	s.byID[id] = nil
+	s.n--
+}
+
+// len returns the number of live cells.
+func (s *cellSlab) len() int { return s.n }

@@ -24,10 +24,12 @@ type Stats struct {
 	// actually changed a dependency link.
 	DependencyCandidates, FilteredByDensity, FilteredByTriangle, DependencyRelinks int64
 	// DependencyUpdateTime is the accumulated wall-clock time spent in
-	// dependency maintenance (the quantity plotted in Fig. 11).
+	// dependency maintenance (the quantity plotted in Fig. 11). Only
+	// collected when Config.DetailedStats is set; zero otherwise.
 	DependencyUpdateTime time.Duration
 	// AssignTime is the accumulated wall-clock time spent finding the
-	// nearest seed for arriving points.
+	// nearest seed for arriving points. Only collected when
+	// Config.DetailedStats is set; zero otherwise.
 	AssignTime time.Duration
 	// SeedCandidates is the number of seed distances measured during
 	// nearest-seed probes. With the linear index it equals

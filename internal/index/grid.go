@@ -2,7 +2,7 @@ package index
 
 import (
 	"math"
-	"strconv"
+	"slices"
 
 	"github.com/densitymountain/edmstream/internal/distance"
 	"github.com/densitymountain/edmstream/internal/stream"
@@ -23,18 +23,41 @@ import (
 // the linear scan would give, keeping the index choice invisible in
 // the clustering output even on mixed streams.
 type Grid struct {
-	side       float64
-	buckets    map[string]*gridBucket
+	side float64
+	// buckets maps the hash of a bucket's integer coordinates to a
+	// chain of buckets with that hash (collisions are resolved by
+	// comparing coordinates exactly, so hashing is purely a lookup
+	// accelerator — no string keys, no per-lookup formatting).
+	buckets    map[uint64]*gridBucket
+	nbuckets   int
 	vectorless map[int64]stream.Point
 	n          int
-	// keyBuf is scratch space for building lookup keys without
-	// allocating (map lookups with string(keyBuf) do not escape).
-	keyBuf []byte
+	// Probe scratch, reused across calls so the per-point hot path
+	// does not allocate: centerBuf holds the query's bucket
+	// coordinates, loBuf/hiBuf the per-axis window bounds, and
+	// offBuf/coordBuf the box walker's cursor. They never overlap: a
+	// probe uses centerBuf for its whole duration, window/shell
+	// enumeration uses loBuf/hiBuf, and forBox (called beneath both)
+	// uses offBuf/coordBuf.
+	centerBuf, loBuf, hiBuf, offBuf, coordBuf []int64
+
+	// Window cache: consecutive probes from the same bucket (bursty
+	// streams) reuse the occupied-bucket set of the previous probe
+	// instead of re-walking the (2m+1)^d window through the bucket map.
+	// gen is bumped by every Insert/Remove, which is exactly when the
+	// occupied-bucket set can change, so a hit is always exact.
+	gen, winGen uint64
+	winM        int64
+	winCenter   []int64
+	winBuckets  []*gridBucket
+	winValid    bool
 }
 
 type gridBucket struct {
 	coords  []int64
 	entries []gridEntry
+	// next chains buckets whose coordinate hashes collide.
+	next *gridBucket
 }
 
 type gridEntry struct {
@@ -52,7 +75,7 @@ func NewGrid(side float64) *Grid {
 	}
 	return &Grid{
 		side:       side,
-		buckets:    make(map[string]*gridBucket),
+		buckets:    make(map[uint64]*gridBucket),
 		vectorless: make(map[int64]stream.Point),
 	}
 }
@@ -63,36 +86,54 @@ func (g *Grid) Len() int { return g.n }
 // Kind implements SeedIndex.
 func (g *Grid) Kind() string { return "grid" }
 
-// coordsOf quantizes a vector to integer bucket coordinates.
+// coordsOf quantizes a vector to integer bucket coordinates, writing
+// them into the grid's center scratch buffer (valid until the next
+// coordsOf call).
 func (g *Grid) coordsOf(vec []float64) []int64 {
-	coords := make([]int64, len(vec))
-	for i, v := range vec {
-		coords[i] = int64(math.Floor(v / g.side))
+	coords := g.centerBuf[:0]
+	for _, v := range vec {
+		coords = append(coords, int64(math.Floor(v/g.side)))
 	}
+	g.centerBuf = coords
 	return coords
 }
 
-// appendKey encodes bucket coordinates into buf as a map key.
-func appendKey(buf []byte, coords []int64) []byte {
-	for i, c := range coords {
-		if i > 0 {
-			buf = append(buf, ',')
-		}
-		buf = strconv.AppendInt(buf, c, 10)
+// hashCoords mixes bucket coordinates into a 64-bit hash (FNV-1a over
+// the coordinate words). Collisions are legal — lookup compares
+// coordinates exactly — they only cost a chain hop.
+func hashCoords(coords []int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range coords {
+		h ^= uint64(c)
+		h *= 1099511628211
 	}
-	return buf
+	return h
 }
 
-// lookup returns the occupied bucket at coords, reusing the grid's key
-// scratch buffer so probes do not allocate.
+// lookup returns the occupied bucket at coords, or nil.
 func (g *Grid) lookup(coords []int64) (*gridBucket, bool) {
-	g.keyBuf = appendKey(g.keyBuf[:0], coords)
-	b, ok := g.buckets[string(g.keyBuf)]
-	return b, ok
+	for b := g.buckets[hashCoords(coords)]; b != nil; b = b.next {
+		if slices.Equal(b.coords, coords) {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// forAllBuckets invokes fn for every occupied bucket (chains
+// included). It backs the direct-scan fallbacks of sparse or
+// high-dimensional probes.
+func (g *Grid) forAllBuckets(fn func(*gridBucket)) {
+	for _, b := range g.buckets {
+		for ; b != nil; b = b.next {
+			fn(b)
+		}
+	}
 }
 
 // Insert implements SeedIndex.
 func (g *Grid) Insert(id int64, p stream.Point) {
+	g.gen++
 	if p.Vector == nil {
 		g.vectorless[id] = p
 		g.n++
@@ -101,8 +142,12 @@ func (g *Grid) Insert(id int64, p stream.Point) {
 	coords := g.coordsOf(p.Vector)
 	b, ok := g.lookup(coords)
 	if !ok {
-		b = &gridBucket{coords: coords}
-		g.buckets[string(appendKey(nil, coords))] = b
+		// The bucket owns its coordinates: coords is scratch space.
+		owned := append([]int64(nil), coords...)
+		h := hashCoords(owned)
+		b = &gridBucket{coords: owned, next: g.buckets[h]}
+		g.buckets[h] = b
+		g.nbuckets++
 	}
 	b.entries = append(b.entries, gridEntry{id: id, vec: p.Vector})
 	g.n++
@@ -110,6 +155,7 @@ func (g *Grid) Insert(id int64, p stream.Point) {
 
 // Remove implements SeedIndex.
 func (g *Grid) Remove(id int64, p stream.Point) {
+	g.gen++
 	if p.Vector == nil {
 		if _, ok := g.vectorless[id]; ok {
 			delete(g.vectorless, id)
@@ -128,12 +174,34 @@ func (g *Grid) Remove(id int64, p stream.Point) {
 			b.entries[i] = b.entries[last]
 			b.entries = b.entries[:last]
 			if len(b.entries) == 0 {
-				delete(g.buckets, string(g.keyBuf))
+				g.unlinkBucket(b)
 			}
 			g.n--
 			return
 		}
 	}
+}
+
+// unlinkBucket removes an emptied bucket from its hash chain.
+func (g *Grid) unlinkBucket(b *gridBucket) {
+	h := hashCoords(b.coords)
+	cur := g.buckets[h]
+	if cur == b {
+		if b.next == nil {
+			delete(g.buckets, h)
+		} else {
+			g.buckets[h] = b.next
+		}
+	} else {
+		for ; cur != nil && cur.next != b; cur = cur.next {
+		}
+		if cur == nil {
+			return
+		}
+		cur.next = b.next
+	}
+	b.next = nil
+	g.nbuckets--
 }
 
 // NearestWithin implements SeedIndex. It probes the (2m+1)^d buckets
@@ -147,7 +215,7 @@ func (g *Grid) NearestWithin(p stream.Point, r float64, onDist func(id int64, d 
 		// (numeric seeds are at +Inf from it, as in the linear scan).
 		return g.scanVectorless(p, r, onDist)
 	}
-	if len(g.buckets) == 0 {
+	if g.nbuckets == 0 {
 		return 0, 0, false
 	}
 	center := g.coordsOf(p.Vector)
@@ -167,14 +235,27 @@ func (g *Grid) NearestWithin(p stream.Point, r float64, onDist func(id int64, d 
 		}
 	}
 	m := int64(math.Ceil(r / g.side))
-	if windowExceeds(2*m+1, len(center), len(g.buckets)) {
-		for _, b := range g.buckets {
+	switch {
+	case windowExceeds(2*m+1, len(center), g.nbuckets):
+		g.forAllBuckets(func(b *gridBucket) {
 			if chebyshev(b.coords, center) <= m {
 				scan(b)
 			}
+		})
+	case g.winValid && g.winGen == g.gen && g.winM == m && slices.Equal(g.winCenter, center):
+		// Same bucket as the previous probe and no membership change
+		// since: the cached occupied-bucket window is exact.
+		for _, b := range g.winBuckets {
+			scan(b)
 		}
-	} else {
-		g.forWindowBuckets(center, m, scan)
+	default:
+		g.winBuckets = g.winBuckets[:0]
+		g.forWindowBuckets(center, m, func(b *gridBucket) {
+			g.winBuckets = append(g.winBuckets, b)
+			scan(b)
+		})
+		g.winCenter = append(g.winCenter[:0], center...)
+		g.winM, g.winGen, g.winValid = m, g.gen, true
 	}
 	if !found {
 		return 0, 0, false
@@ -212,7 +293,7 @@ func (g *Grid) NearestWhere(p stream.Point, pred func(id int64) bool) (int64, fl
 		}
 		return bestID, bestDist, true
 	}
-	if len(g.buckets) == 0 {
+	if g.nbuckets == 0 {
 		return 0, 0, false
 	}
 	center := g.coordsOf(p.Vector)
@@ -233,18 +314,18 @@ func (g *Grid) NearestWhere(p stream.Point, pred func(id int64) bool) (int64, fl
 	}
 	visited := 0
 	for k := int64(0); ; k++ {
-		if visited >= len(g.buckets) {
+		if visited >= g.nbuckets {
 			break
 		}
 		if found && float64(k-1)*g.side >= bestDist {
 			break
 		}
-		if windowExceeds(2*k+1, len(center), len(g.buckets)) {
-			for _, b := range g.buckets {
+		if windowExceeds(2*k+1, len(center), g.nbuckets) {
+			g.forAllBuckets(func(b *gridBucket) {
 				if chebyshev(b.coords, center) >= k {
 					scan(b)
 				}
-			}
+			})
 			break
 		}
 		g.forShellBuckets(center, k, func(b *gridBucket) {
@@ -280,12 +361,22 @@ func (g *Grid) scanVectorless(p stream.Point, r float64, onDist func(id int64, d
 	return bestID, bestDist, true
 }
 
+// resizeScratch returns buf resized to d elements, reallocating only
+// when the capacity grew (contents are overwritten by the caller).
+func resizeScratch(buf []int64, d int) []int64 {
+	if cap(buf) < d {
+		return make([]int64, d)
+	}
+	return buf[:d]
+}
+
 // forWindowBuckets invokes fn for every occupied bucket whose
 // coordinates are within Chebyshev distance m of center.
 func (g *Grid) forWindowBuckets(center []int64, m int64, fn func(*gridBucket)) {
 	d := len(center)
-	lo := make([]int64, d)
-	hi := make([]int64, d)
+	lo := resizeScratch(g.loBuf, d)
+	hi := resizeScratch(g.hiBuf, d)
+	g.loBuf, g.hiBuf = lo, hi
 	for i := range lo {
 		lo[i], hi[i] = -m, m
 	}
@@ -308,8 +399,9 @@ func (g *Grid) forShellBuckets(center []int64, k int64, fn func(*gridBucket)) {
 		}
 		return
 	}
-	lo := make([]int64, d)
-	hi := make([]int64, d)
+	lo := resizeScratch(g.loBuf, d)
+	hi := resizeScratch(g.hiBuf, d)
+	g.loBuf, g.hiBuf = lo, hi
 	for a := 0; a < d; a++ {
 		for _, s := range [2]int64{-k, k} {
 			for j := 0; j < d; j++ {
@@ -331,14 +423,15 @@ func (g *Grid) forShellBuckets(center []int64, k int64, fn func(*gridBucket)) {
 // lies in the axis-aligned box [lo, hi] (per-axis inclusive bounds).
 func (g *Grid) forBox(center, lo, hi []int64, fn func(*gridBucket)) {
 	d := len(center)
-	off := make([]int64, d)
+	off := resizeScratch(g.offBuf, d)
+	coords := resizeScratch(g.coordBuf, d)
+	g.offBuf, g.coordBuf = off, coords
 	for i := range off {
 		if lo[i] > hi[i] {
 			return
 		}
 		off[i] = lo[i]
 	}
-	coords := make([]int64, d)
 	for {
 		for i := range coords {
 			coords[i] = center[i] + off[i]

@@ -68,6 +68,12 @@ type Options struct {
 	// policies produce identical clustering output; the knob exists
 	// for benchmarking and for overriding the auto heuristic.
 	IndexPolicy IndexPolicy
+	// DetailedStats enables the per-point wall-clock instrumentation
+	// behind Stats.AssignTime and Stats.DependencyUpdateTime. It is off
+	// by default: the clock reads are fixed overhead on the ingest hot
+	// path, and the clustering output is identical either way. Turn it
+	// on to reproduce the paper's Fig. 11 accounting.
+	DetailedStats bool
 }
 
 // toCore converts the public options to the internal configuration.
@@ -87,9 +93,7 @@ func (o Options) toCore() core.Config {
 		DeleteDelay:       o.DeleteDelay,
 		MaxEvents:         o.MaxEvents,
 		IndexPolicy:       o.IndexPolicy,
-	}
-	if o.EvolutionInterval < 0 {
-		cfg.EvolutionInterval = 0
+		DetailedStats:     o.DetailedStats,
 	}
 	if o.DisableFilters {
 		cfg.SetFilters(core.FilterNone)
