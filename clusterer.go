@@ -7,7 +7,13 @@ import (
 // Clusterer is an online stream clusterer implementing the EDMStream
 // algorithm. Create one with New, feed it points with Insert, and query
 // the clustering with Snapshot and the evolution log with Events.
-// A Clusterer is not safe for concurrent use.
+//
+// Concurrency: the mutating methods (Insert, InsertBatch, Snapshot,
+// Clusters, DecisionGraph, Tau, Alpha, Now) must all be called from a
+// single owner goroutine. The read-only serving methods — LastSnapshot,
+// Assign, AssignBatch, Events and Stats — are lock-free and safe to
+// call from any number of goroutines concurrently with ingestion; see
+// the README's concurrency table.
 type Clusterer struct {
 	core *core.EDMStream
 }
@@ -37,15 +43,44 @@ func (c *Clusterer) InsertBatch(pts []Point) error { return c.core.InsertBatch(p
 
 // Snapshot refreshes and returns the current clustering: the clusters
 // (maximal strongly dependent subtrees of the DP-Tree), the τ used to
-// separate them, and cell counts.
+// separate them, and cell counts. The result is an independent deep
+// copy the caller may hold or mutate freely. Owner goroutine only; a
+// serving goroutine that just wants to read should use LastSnapshot.
 func (c *Clusterer) Snapshot() Snapshot { return c.core.Snapshot() }
 
-// LastSnapshot returns the most recent snapshot without recomputing the
-// clustering (cheap; reflects the state as of the last refresh).
+// LastSnapshot returns the most recent published snapshot without
+// recomputing the clustering. It is lock-free and safe to call from
+// any goroutine concurrently with ingestion; the returned snapshot is
+// a shared read-only view — treat its slices as immutable (use
+// Snapshot from the owner goroutine for an owned, mutable copy).
 func (c *Clusterer) LastSnapshot() Snapshot { return c.core.LastSnapshot() }
+
+// Assign classifies a point against the most recent published
+// snapshot: it reports the cluster whose member cell's seed is nearest
+// to p within the cell radius, or ok == false when no cluster claims
+// the point (an outlier, or no snapshot has been published yet).
+//
+// Assign is the serving-path query: it is lock-free, allocation-free,
+// and safe to call from any number of goroutines concurrently with
+// Insert/InsertBatch — readers never block or slow the write path.
+// The classification reflects the clustering as of the last refresh,
+// not the live in-flight state.
+func (c *Clusterer) Assign(p Point) (clusterID int, ok bool) { return c.core.Assign(p) }
+
+// AssignBatch classifies every point in pts against one consistent
+// published snapshot. It overwrites dst (reusing its backing; pass nil
+// to allocate) with one cluster ID per point and returns it, with
+// AssignOutlier for points no cluster claims. Like Assign it is safe
+// for concurrent use with ingestion.
+func (c *Clusterer) AssignBatch(pts []Point, dst []int) []int { return c.core.AssignBatch(pts, dst) }
+
+// AssignOutlier is the cluster ID AssignBatch reports for points no
+// cluster claims.
+const AssignOutlier = core.AssignOutlier
 
 // Events returns the cluster evolution log: every emerge, disappear,
 // split, merge and adjust activity detected so far, in time order.
+// Safe to call from any goroutine concurrently with ingestion.
 func (c *Clusterer) Events() []Event { return c.core.Events() }
 
 // DecisionGraph returns the current decision graph: each active
@@ -55,7 +90,10 @@ func (c *Clusterer) DecisionGraph() []DecisionPoint { return c.core.DecisionGrap
 
 // Stats returns the clusterer's internal counters (cells created,
 // promotions/demotions, filter hit counts, accumulated dependency
-// update time, ...).
+// update time, ...). Safe to call from any goroutine concurrently with
+// ingestion: each counter is individually no staler than the owner's
+// previous call (a reader racing the owner may mix counters from two
+// adjacent calls; from the owner goroutine the values are exact).
 func (c *Clusterer) Stats() Stats { return c.core.Stats() }
 
 // Tau returns the cluster-separation threshold currently in effect.

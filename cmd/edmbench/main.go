@@ -6,7 +6,7 @@
 //
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
-//	             ablation, index, throughput, all
+//	             ablation, index, throughput, serve, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -21,9 +21,13 @@ import (
 	"github.com/densitymountain/edmstream/internal/bench"
 )
 
-// throughputJSON is the artifact path of the throughput experiment
-// (set by the -json flag).
-var throughputJSON string
+// throughputJSON and serveJSON are the artifact paths of the
+// throughput and serve experiments (set by the -json / -servejson
+// flags).
+var (
+	throughputJSON string
+	serveJSON      string
+)
 
 func main() {
 	points := flag.Int("points", 20000, "stream length per dataset")
@@ -31,6 +35,8 @@ func main() {
 	rate := flag.Float64("rate", 1000, "arrival rate in points per second")
 	flag.StringVar(&throughputJSON, "json", "BENCH_throughput.json",
 		"path of the machine-readable artifact the throughput experiment writes (empty disables it)")
+	flag.StringVar(&serveJSON, "servejson", "BENCH_serve.json",
+		"path of the machine-readable artifact the serve experiment writes (empty disables it)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -66,6 +72,9 @@ experiments:
   index     nearest-seed index: grid vs linear insert throughput
   throughput  ingestion: per-point Insert vs batched InsertBatch
               (writes the machine-readable BENCH_throughput.json artifact)
+  serve     serving layer: incremental vs full snapshot refresh, and
+            concurrent Assign queries (1 writer + 4 readers; writes the
+            machine-readable BENCH_serve.json artifact)
   all       run every experiment
 
 flags:
@@ -202,8 +211,20 @@ func run(id string, s bench.Scale) error {
 			}
 			fmt.Printf("wrote %s\n", throughputJSON)
 		}
+	case "serve":
+		rep, err := bench.RunServe(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatServe(rep))
+		if serveJSON != "" {
+			if err := bench.WriteServeJSON(serveJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", serveJSON)
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

@@ -31,6 +31,27 @@
 // Insert: it produces exactly the same clustering while amortizing the
 // per-point bookkeeping across each batch.
 //
+// # Serving queries while the stream flows
+//
+// The write path (Insert/InsertBatch) belongs to one owner goroutine,
+// but the clusterer also maintains a lock-free read path: every
+// clustering refresh atomically publishes an immutable snapshot, and
+// LastSnapshot, Assign, AssignBatch, Events and Stats work off that
+// published state from any number of goroutines, concurrently with
+// ingestion, without blocking it. Assign classifies a point against
+// the published clustering in sub-microsecond time with zero
+// allocations:
+//
+//	go func() { // writer
+//	    for batch := range source {
+//	        c.InsertBatch(batch)
+//	    }
+//	}()
+//	// any number of readers:
+//	if id, ok := c.Assign(p); ok {
+//	    serveFromCluster(id)
+//	}
+//
 // The examples/ directory contains runnable programs: a minimal
 // quickstart, cluster-evolution tracking on the SDS synthetic stream,
 // the news-recommendation use case on a Jaccard text stream, and an

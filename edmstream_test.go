@@ -3,6 +3,7 @@ package edmstream
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -49,6 +50,93 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	}
 	if !(c.Alpha() >= 0 && c.Alpha() < 1) {
 		t.Errorf("Alpha = %v", c.Alpha())
+	}
+}
+
+// TestPublicServing exercises the read path of the public API: Assign
+// and AssignBatch classify points against the published snapshot, and
+// the reader-safe methods can be hammered from several goroutines
+// while a writer ingests (run under -race by the CI race job).
+func TestPublicServing(t *testing.T) {
+	c, err := New(Options{Radius: 0.8, Tau: 3, InitPoints: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	centers := [][]float64{{0, 0}, {10, 10}}
+	mk := func(i int) Point {
+		k := i % 2
+		return NewPoint([]float64{
+			centers[k][0] + rng.NormFloat64()*0.5,
+			centers[k][1] + rng.NormFloat64()*0.5,
+		}, float64(i)/1000)
+	}
+	// Before any snapshot is published, Assign reports no cluster.
+	if _, ok := c.Assign(NewPoint([]float64{0, 0}, 0)); ok {
+		t.Error("Assign matched before any snapshot was published")
+	}
+
+	var pts []Point
+	for i := 0; i < 4000; i++ {
+		pts = append(pts, mk(i))
+	}
+	const split = 2000
+	if err := c.InsertBatch(pts[:split]); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.NumClusters() != 2 {
+		t.Fatalf("got %d clusters, want 2", snap.NumClusters())
+	}
+
+	// Readers hammer the serving methods while the writer finishes the
+	// stream.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var dst []int
+			for i := 0; ; i++ {
+				if i >= 200 {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				c.Assign(pts[(r*31+i)%split])
+				dst = c.AssignBatch(pts[:4], dst)
+				_ = c.LastSnapshot()
+				_ = c.Stats()
+				_ = c.Events()
+			}
+		}(r)
+	}
+	if err := c.InsertBatch(pts[split:]); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+
+	// On-cluster points resolve to the cluster of their center; a far
+	// point is an outlier.
+	snap = c.Snapshot()
+	wantA, okA := c.Assign(NewPoint(centers[0], c.Now()))
+	wantB, okB := c.Assign(NewPoint(centers[1], c.Now()))
+	if !okA || !okB || wantA == wantB {
+		t.Fatalf("center assignment broken: (%d,%v) (%d,%v)", wantA, okA, wantB, okB)
+	}
+	if _, ok := snap.Cluster(wantA); !ok {
+		t.Errorf("Assign returned cluster %d not present in the snapshot", wantA)
+	}
+	if _, ok := c.Assign(NewPoint([]float64{500, 500}, c.Now())); ok {
+		t.Error("far-away point was assigned")
+	}
+	ids := c.AssignBatch([]Point{NewPoint(centers[0], c.Now()), NewPoint([]float64{500, 500}, c.Now())}, nil)
+	if len(ids) != 2 || ids[0] != wantA || ids[1] != AssignOutlier {
+		t.Errorf("AssignBatch = %v, want [%d %d]", ids, wantA, AssignOutlier)
 	}
 }
 

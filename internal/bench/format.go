@@ -215,6 +215,29 @@ func FormatThroughput(rep ThroughputReport) string {
 	return b.String()
 }
 
+// FormatServe renders the serving experiment: incremental vs full
+// snapshot-refresh latency, and concurrent query throughput.
+func FormatServe(rep ServeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving layer: incremental refresh + concurrent Assign (steady-state lattice stream)\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %12s %12s %8s\n",
+		"extraction", "refreshes", "median", "mean", "min", "max", "cells")
+	for _, r := range []ServeRefreshResult{rep.Incremental, rep.Full} {
+		fmt.Fprintf(&b, "%-12s %10d %12s %12s %12s %12s %8d\n",
+			r.Mode, r.Refreshes,
+			formatDuration(time.Duration(r.MedianNanos)),
+			formatDuration(time.Duration(int64(r.MeanNanos))),
+			formatDuration(time.Duration(r.MinNanos)),
+			formatDuration(time.Duration(r.MaxNanos)),
+			r.ActiveCells)
+	}
+	fmt.Fprintf(&b, "incremental refresh speedup over full rebuild: %.2fx\n", rep.RefreshSpeedup)
+	fmt.Fprintf(&b, "concurrent queries: %d readers + 1 writer, %.0f queries/sec aggregate (hit rate %.2f, %.4f allocs/query)\n",
+		rep.Readers, rep.QueriesPerSec, rep.HitRate, rep.AllocsPerQuery)
+	fmt.Fprintf(&b, "writer sustained %.0f points/sec while serving\n", rep.WriterPointsPerSec)
+	return b.String()
+}
+
 func formatDuration(d time.Duration) string {
 	switch {
 	case d == 0:

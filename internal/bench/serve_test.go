@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestRunServeSmall smoke-tests the serving experiment at a small
+// scale: both refresh modes must run the same number of refreshes and
+// agree on the clustering (RunServe errors otherwise), the concurrent
+// phase must issue queries that hit clusters, and steady-state queries
+// must be allocation-free. Absolute speedups are machine-dependent and
+// documented by the committed BENCH_serve.json artifact, not asserted
+// here.
+func TestRunServeSmall(t *testing.T) {
+	s := SmallScale()
+	rep, err := RunServe(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "edmstream-serve/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	for _, r := range []ServeRefreshResult{rep.Incremental, rep.Full} {
+		if r.Refreshes < 5 || r.MeanNanos <= 0 {
+			t.Errorf("%s: degenerate refresh measurement: %+v", r.Mode, r)
+		}
+		if r.ActiveCells == 0 || r.Clusters == 0 {
+			t.Errorf("%s: degenerate clustering: %+v", r.Mode, r)
+		}
+	}
+	if rep.RefreshSpeedup <= 0 {
+		t.Errorf("refresh speedup = %v", rep.RefreshSpeedup)
+	}
+	if rep.Readers != ServeReaders {
+		t.Errorf("readers = %d, want %d", rep.Readers, ServeReaders)
+	}
+	if rep.Queries <= 0 || rep.QueriesPerSec <= 0 {
+		t.Errorf("no queries measured: %+v", rep)
+	}
+	if rep.HitRate <= 0 || rep.HitRate > 1 {
+		t.Errorf("hit rate = %v", rep.HitRate)
+	}
+	if rep.AllocsPerQuery > 0.01 {
+		t.Errorf("Assign allocates %.4f per query, want ~0", rep.AllocsPerQuery)
+	}
+	if rep.WriterPointsPerSec <= 0 {
+		t.Errorf("writer made no progress while serving")
+	}
+}
+
+// TestWriteServeJSON checks the artifact writer round-trips.
+func TestWriteServeJSON(t *testing.T) {
+	rep := ServeReport{Schema: "edmstream-serve/v1", Readers: ServeReaders}
+	path := t.TempDir() + "/BENCH_serve.json"
+	if err := WriteServeJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+}

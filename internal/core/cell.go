@@ -33,8 +33,12 @@ type Cell struct {
 	dep *Cell
 	// delta is the dependent distance δ to dep; +Inf when dep is nil.
 	delta float64
-	// children are the cells that depend on this cell.
-	children map[int64]*Cell
+	// children are the cells that depend on this cell, unordered;
+	// childIdx is this cell's slot in its dependency's children slice
+	// (O(1) unlink without a map — dependency relinks are hot, and the
+	// incremental extraction walks children constantly).
+	children []*Cell
+	childIdx int
 
 	// treeIdx is the cell's position in the DP-Tree's active-cell list
 	// (used for O(1) removal). Meaningful only while active.
@@ -57,6 +61,25 @@ type Cell struct {
 	// per-point map.
 	lastDist      float64
 	lastDistStamp int64
+
+	// Incremental cluster-extraction bookkeeping (see extract.go).
+	// cluster is the MSD subtree the cell currently belongs to (nil
+	// while inactive or before its first extraction) and memberIdx its
+	// slot in that cluster's member list. leads is non-nil iff the cell
+	// is currently the peak of a cluster. dirtyMark records that the
+	// cell's dependency link changed since the last extraction, and
+	// extractEpoch stamps the extraction pass that last recomputed the
+	// cell's peak.
+	cluster      *msdCluster
+	memberIdx    int
+	leads        *msdCluster
+	dirtyMark    bool
+	extractEpoch uint64
+
+	// seedView is a lazily built deep clone of the seed shared by
+	// published snapshot views (snapshots are read-only, and seeds never
+	// change, so one clone serves every snapshot the cell appears in).
+	seedView stream.Point
 }
 
 // newCell creates a cell seeded by p with initial density 1 (a single
@@ -70,12 +93,22 @@ func newCell(id int64, p stream.Point) *Cell {
 		lastAbsorb: p.Time,
 		count:      1,
 		delta:      math.Inf(1),
-		children:   make(map[int64]*Cell),
 	}
 }
 
 // ID returns the cell's identifier.
 func (c *Cell) ID() int64 { return c.id }
+
+// seedClone returns the cell's cached seed clone, building it on first
+// use. The clone is shared by every snapshot view the cell appears in;
+// views are read-only by contract, and Snapshot() deep-copies before
+// handing out mutable data, so the sharing is never observable.
+func (c *Cell) seedClone() stream.Point {
+	if c.seedView.Vector == nil && c.seedView.Tokens == nil {
+		c.seedView = c.seed.Clone()
+	}
+	return c.seedView
+}
 
 // Seed returns the cell's seed point.
 func (c *Cell) Seed() stream.Point { return c.seed }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// TestConcurrentServingRace is the serving-layer race test: one
+// goroutine ingests the stream while several goroutines hammer every
+// reader-safe method (LastSnapshot, Assign, AssignBatch, Stats,
+// Events). Run under -race (the CI race job does) it proves the
+// lock-free publication protocol: readers never block ingestion and
+// never observe torn state.
+func TestConcurrentServingRace(t *testing.T) {
+	pts := burstyStream(3, 12000, 4, 0.1)
+	cfg := Config{Radius: 0.8, Tau: 2.5, InitPoints: 200, EvolutionInterval: 0.25, SweepInterval: 0.2}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probes := make([]stream.Point, 64)
+	for i := range probes {
+		probes[i] = pts[len(pts)-1-i]
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var queries, hits atomic.Int64
+
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var dst []int
+			// Run at least minIters even if the writer finishes first
+			// (the ingest loop can outrun reader scheduling), then stop
+			// once the writer is done.
+			const minIters = 512
+			for i := 0; ; i++ {
+				if i >= minIters {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
+				switch i % 4 {
+				case 0:
+					snap := e.LastSnapshot()
+					for _, cl := range snap.Clusters {
+						if len(cl.CellIDs) != len(cl.SeedPoints) {
+							t.Error("torn snapshot: CellIDs and SeedPoints misaligned")
+							return
+						}
+					}
+					if _, ok := snap.Cluster(1); ok && snap.NumClusters() == 0 {
+						t.Error("Cluster(1) found in an empty snapshot")
+						return
+					}
+				case 1:
+					if id, ok := e.Assign(probes[(r+i)%len(probes)]); ok {
+						hits.Add(1)
+						if id < 0 {
+							t.Error("Assign returned ok with a negative cluster ID")
+							return
+						}
+					}
+					queries.Add(1)
+				case 2:
+					dst = e.AssignBatch(probes[:8], dst)
+					if len(dst) != 8 {
+						t.Error("AssignBatch returned wrong length")
+						return
+					}
+					queries.Add(8)
+				case 3:
+					st := e.Stats()
+					if st.Points < 0 || st.ActiveCells < 0 {
+						t.Error("negative counters from Stats")
+						return
+					}
+					_ = e.Events()
+				}
+			}
+		}(r)
+	}
+
+	const batch = 128
+	for i := 0; i < len(pts); i += batch {
+		end := i + batch
+		if end > len(pts) {
+			end = len(pts)
+		}
+		if err := e.InsertBatch(pts[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("readers issued no queries")
+	}
+	if hits.Load() == 0 {
+		t.Fatal("no probe matched a cluster (degenerate serving state)")
+	}
+	if got := e.Stats().Points; got != int64(len(pts)) {
+		t.Fatalf("Stats().Points = %d after ingest, want %d", got, len(pts))
+	}
+}
+
+// TestAssignZeroAlloc pins the acceptance criterion that steady-state
+// queries never allocate: after the first Assign on a published
+// snapshot has built the frozen index, further queries (hits and
+// misses, single and batched) must be allocation-free.
+func TestAssignZeroAlloc(t *testing.T) {
+	pts := burstyStream(3, 4000, 4, 0.1)
+	e, err := New(Config{Radius: 0.8, Tau: 2.5, InitPoints: 200, EvolutionInterval: 0.25, SweepInterval: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	e.Refresh()
+	hit := pts[len(pts)-1]
+	miss := stream.Point{Vector: []float64{1e6, 1e6}, Time: e.Now()}
+	if _, ok := e.Assign(hit); !ok {
+		t.Fatal("warm-up probe missed; pick a denser probe")
+	}
+	var dst []int
+	dst = e.AssignBatch(pts[:16], dst)
+	if allocs := testing.AllocsPerRun(200, func() {
+		e.Assign(hit)
+		e.Assign(miss)
+		dst = e.AssignBatch(pts[:16], dst)
+	}); allocs != 0 {
+		t.Fatalf("Assign allocated %.1f times per run, want 0", allocs)
+	}
+}

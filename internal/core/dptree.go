@@ -42,6 +42,23 @@ type dpTree struct {
 	higherPred func(id int64) bool
 	predCell   *Cell
 	predNow    float64
+
+	// Incremental MSD-subtree extraction state (see extract.go): dirty
+	// lists the cells whose dependency link changed since the last
+	// extraction, clusters the live partition (sorted by peak ID when
+	// clustersSorted), epoch stamps extraction passes, extractTau is
+	// the τ the cached partition was built with, and partChanged
+	// records that membership may differ from the partition last handed
+	// to the evolution tracker. walk and clusterPool are reused scratch.
+	dirty          []*Cell
+	clusters       []*msdCluster
+	clustersSorted bool
+	clusterPool    []*msdCluster
+	walk           []*Cell
+	epoch          uint64
+	extractTau     float64
+	extractValid   bool
+	partChanged    bool
 }
 
 // densBucketWidth is the log-density width of one density band bucket.
@@ -106,6 +123,9 @@ func (t *dpTree) insert(c *Cell) {
 	c.treeIdx = len(t.list)
 	t.list = append(t.list, c)
 	t.densInsert(c)
+	// A promoted cell has no cached peak yet; the next extraction
+	// assigns it (and whatever subtree forms beneath it).
+	t.markDirty(c)
 }
 
 // remove detaches the cell from the tree: it is unlinked from its
@@ -113,23 +133,35 @@ func (t *dpTree) insert(c *Cell) {
 // what happens to them), and it is marked inactive.
 func (t *dpTree) remove(c *Cell) {
 	t.unlink(c)
-	for _, child := range c.children {
+	for i, child := range c.children {
 		child.dep = nil
 		child.delta = math.Inf(1)
+		// Each child becomes a root; its subtree's peaks must be
+		// recomputed at the next extraction.
+		t.markDirty(child)
+		c.children[i] = nil
 	}
-	c.children = make(map[int64]*Cell)
+	c.children = c.children[:0]
 	c.active = false
 	last := len(t.list) - 1
 	t.list[c.treeIdx] = t.list[last]
 	t.list[c.treeIdx].treeIdx = c.treeIdx
 	t.list = t.list[:last]
 	t.densRemove(c)
+	t.dropMember(c)
 }
 
 // link sets c's dependency to dep at distance delta, maintaining the
-// children index.
+// children index and the extraction dirty set.
 func (t *dpTree) link(c, dep *Cell, delta float64) {
 	if c.dep == dep {
+		// Same dependency: the subtree's peaks only move if the link's
+		// strongness (δ ≤ τ) flips relative to the τ the cached
+		// partition was built with. (If the next refresh changes τ, the
+		// whole partition is rebuilt regardless of marks.)
+		if t.extractValid && (c.delta <= t.extractTau) != (delta <= t.extractTau) {
+			t.markDirty(c)
+		}
 		c.delta = delta
 		return
 	}
@@ -137,14 +169,22 @@ func (t *dpTree) link(c, dep *Cell, delta float64) {
 	c.dep = dep
 	c.delta = delta
 	if dep != nil {
-		dep.children[c.id] = c
+		c.childIdx = len(dep.children)
+		dep.children = append(dep.children, c)
 	}
+	t.markDirty(c)
 }
 
-// unlink clears c's dependency.
+// unlink clears c's dependency (O(1) swap-remove from the children
+// slice).
 func (t *dpTree) unlink(c *Cell) {
-	if c.dep != nil {
-		delete(c.dep.children, c.id)
+	if dep := c.dep; dep != nil {
+		last := len(dep.children) - 1
+		dep.children[c.childIdx] = dep.children[last]
+		dep.children[c.childIdx].childIdx = c.childIdx
+		dep.children[last] = nil
+		dep.children = dep.children[:last]
+		t.markDirty(c)
 	}
 	c.dep = nil
 	c.delta = math.Inf(1)
@@ -364,7 +404,7 @@ func (t *dpTree) checkInvariants(now float64) string {
 		if !higherRanked(c.dep, c, now, t.decay) {
 			return "cell depends on a cell that does not outrank it"
 		}
-		if c.dep.children[c.id] != c {
+		if c.childIdx < 0 || c.childIdx >= len(c.dep.children) || c.dep.children[c.childIdx] != c {
 			return "dependency's children index is missing the cell"
 		}
 		if c.delta < 0 || math.IsNaN(c.delta) {

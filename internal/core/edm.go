@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/densitymountain/edmstream/internal/index"
@@ -17,8 +18,15 @@ import (
 // InsertBatch, which amortizes the per-point bookkeeping) and can be
 // queried at any time for the current clustering (Snapshot), the
 // decision graph (DecisionGraph) and the cluster evolution log
-// (Events). EDMStream is not safe for concurrent use; wrap it in a
-// mutex if multiple goroutines insert points.
+// (Events).
+//
+// Concurrency: all mutating methods (Insert, InsertBatch, Snapshot,
+// Clusters, Refresh, DecisionGraph, ...) must be called from a single
+// owner goroutine. The read-only serving methods — LastSnapshot,
+// Assign, AssignBatch, Events and Stats — are safe to call from any
+// number of goroutines concurrently with ingestion: they work off
+// state the owner publishes through atomic pointers and never block
+// or race the write path.
 type EDMStream struct {
 	cfg Config
 
@@ -44,9 +52,29 @@ type EDMStream struct {
 	initialized   bool
 	lastSweep     float64
 	lastEvolution float64
-	lastSnapshot  Snapshot
+
+	// pub is the atomically published read side: the latest clustering
+	// snapshot plus the holder of its lazily built query index. Readers
+	// (LastSnapshot, Assign) load it without locking; the owner stores
+	// a fresh value at every clustering refresh.
+	pub atomic.Pointer[published]
 
 	stats Stats
+	// mirror and statsShadow implement the race-free Stats view:
+	// statsShadow is the owner's copy of the last published counters,
+	// and mirror holds one atomic per field, stored only when a value
+	// changed (publishStats) so concurrent Stats readers never race the
+	// plain counters on the hot path.
+	mirror      statsMirror
+	statsShadow Stats
+
+	// fullExtract, when set, replaces the incremental cluster
+	// extraction with the from-scratch rebuild (the PR 2 behavior):
+	// msdSubtrees walk, per-refresh membership sets and per-refresh
+	// seed clones. Output is byte-identical; only the refresh cost
+	// differs. It exists as the baseline for the serve benchmark and
+	// the equivalence property tests.
+	fullExtract bool
 
 	// onProbe is the reusable nearest-seed distance callback: it stamps
 	// measured distances onto cells for the triangle-inequality filter.
@@ -57,11 +85,44 @@ type EDMStream struct {
 
 	// Scratch buffers reused across calls so steady-state ingestion
 	// does not allocate: one backs single-point Inserts, demote/repair
-	// back the sweep, ordered backs sortedCells.
+	// back the sweep, ordered backs sortedCells, deltas backs the
+	// adaptive-τ retune and part the partition handed to the evolution
+	// tracker.
 	one     [1]stream.Point
 	demote  []*Cell
 	repair  []*Cell
 	ordered []*Cell
+	deltas  []float64
+	part    []obsCluster
+}
+
+// published is one atomically swapped read-side state: an immutable
+// snapshot view and the holder of its query index. The snapshot's
+// slices are shared with the engine's persistent cluster views and
+// with whatever the readers currently hold — all of it read-only by
+// contract — so publishing is O(clusters), not O(cells).
+type published struct {
+	snap Snapshot
+	// assign holds the frozen query index for this snapshot, built
+	// lazily by the first Assign call and then shared. When membership
+	// did not change between refreshes the holder itself is carried
+	// forward, so steady-state refreshes never invalidate the index.
+	assign *assignHolder
+}
+
+type assignHolder struct {
+	frozen atomic.Pointer[index.Frozen]
+}
+
+// statsMirror holds the atomically readable copy of every Stats field,
+// updated by publishStats at the end of each public mutating call.
+type statsMirror struct {
+	points, cellsCreated                                         atomic.Int64
+	activeCells, inactiveCells                                   atomic.Int64
+	promotions, demotions, deletions                             atomic.Int64
+	depCandidates, filteredDensity, filteredTriangle, depRelinks atomic.Int64
+	depUpdateNanos, assignNanos                                  atomic.Int64
+	seedCandidates, evolutionEvents                              atomic.Int64
 }
 
 // New creates an EDMStream instance with the given configuration.
@@ -158,13 +219,91 @@ func (e *EDMStream) Config() Config { return e.cfg }
 // Now returns the latest stream time observed.
 func (e *EDMStream) Now() float64 { return e.now }
 
-// Stats returns a copy of the internal counters.
+// Stats returns a copy of the internal counters. It is safe to call
+// from any goroutine concurrently with ingestion. Called from the
+// owner goroutine, the values are exact as of the end of its most
+// recent public call; a concurrent reader racing the owner sees each
+// counter individually no staler than the owner's previous call, but
+// the fields are loaded independently and may mix two adjacent
+// publications.
 func (e *EDMStream) Stats() Stats {
+	m := &e.mirror
+	return Stats{
+		Points:               m.points.Load(),
+		CellsCreated:         m.cellsCreated.Load(),
+		ActiveCells:          int(m.activeCells.Load()),
+		InactiveCells:        int(m.inactiveCells.Load()),
+		Promotions:           m.promotions.Load(),
+		Demotions:            m.demotions.Load(),
+		Deletions:            m.deletions.Load(),
+		DependencyCandidates: m.depCandidates.Load(),
+		FilteredByDensity:    m.filteredDensity.Load(),
+		FilteredByTriangle:   m.filteredTriangle.Load(),
+		DependencyRelinks:    m.depRelinks.Load(),
+		DependencyUpdateTime: time.Duration(m.depUpdateNanos.Load()),
+		AssignTime:           time.Duration(m.assignNanos.Load()),
+		SeedCandidates:       m.seedCandidates.Load(),
+		EvolutionEvents:      m.evolutionEvents.Load(),
+	}
+}
+
+// publishStats copies the owner's plain counters into the atomic
+// mirror so concurrent Stats readers never touch the hot-path fields.
+// Only fields whose value changed are stored, which keeps the cost of
+// a single-point Insert at a handful of atomic stores.
+func (e *EDMStream) publishStats() {
 	s := e.stats
 	s.ActiveCells = e.tree.size()
 	s.InactiveCells = e.res.size()
 	s.EvolutionEvents = int64(len(e.tracker.log()))
-	return s
+	o := &e.statsShadow
+	m := &e.mirror
+	if s.Points != o.Points {
+		m.points.Store(s.Points)
+	}
+	if s.CellsCreated != o.CellsCreated {
+		m.cellsCreated.Store(s.CellsCreated)
+	}
+	if s.ActiveCells != o.ActiveCells {
+		m.activeCells.Store(int64(s.ActiveCells))
+	}
+	if s.InactiveCells != o.InactiveCells {
+		m.inactiveCells.Store(int64(s.InactiveCells))
+	}
+	if s.Promotions != o.Promotions {
+		m.promotions.Store(s.Promotions)
+	}
+	if s.Demotions != o.Demotions {
+		m.demotions.Store(s.Demotions)
+	}
+	if s.Deletions != o.Deletions {
+		m.deletions.Store(s.Deletions)
+	}
+	if s.DependencyCandidates != o.DependencyCandidates {
+		m.depCandidates.Store(s.DependencyCandidates)
+	}
+	if s.FilteredByDensity != o.FilteredByDensity {
+		m.filteredDensity.Store(s.FilteredByDensity)
+	}
+	if s.FilteredByTriangle != o.FilteredByTriangle {
+		m.filteredTriangle.Store(s.FilteredByTriangle)
+	}
+	if s.DependencyRelinks != o.DependencyRelinks {
+		m.depRelinks.Store(s.DependencyRelinks)
+	}
+	if s.DependencyUpdateTime != o.DependencyUpdateTime {
+		m.depUpdateNanos.Store(int64(s.DependencyUpdateTime))
+	}
+	if s.AssignTime != o.AssignTime {
+		m.assignNanos.Store(int64(s.AssignTime))
+	}
+	if s.SeedCandidates != o.SeedCandidates {
+		m.seedCandidates.Store(s.SeedCandidates)
+	}
+	if s.EvolutionEvents != o.EvolutionEvents {
+		m.evolutionEvents.Store(s.EvolutionEvents)
+	}
+	e.statsShadow = s
 }
 
 // Tau returns the cluster-separation threshold currently in effect.
@@ -193,6 +332,7 @@ func (e *EDMStream) Insert(p stream.Point) error {
 	}
 	e.one[0] = p
 	e.ingest(e.one[:])
+	e.publishStats()
 	return nil
 }
 
@@ -213,6 +353,7 @@ func (e *EDMStream) InsertBatch(pts []stream.Point) error {
 		}
 	}
 	e.ingest(pts)
+	e.publishStats()
 	return nil
 }
 
@@ -657,104 +798,212 @@ func (e *EDMStream) DecisionGraph() []DecisionPoint {
 	return graph
 }
 
-// refreshClustering recomputes τ (if adaptive), extracts the
-// MSDSubTrees, lets the evolution tracker diff them against the
-// previous partition and stores the resulting snapshot.
+// refreshClustering recomputes τ (if adaptive), brings the cluster
+// partition up to date, lets the evolution tracker diff it against the
+// previous partition when membership changed, and atomically publishes
+// the resulting snapshot for the read side.
+//
+// The extraction is incremental: only subtrees whose dependency links
+// changed since the last refresh are reprocessed (see extract.go), the
+// evolution diff is skipped entirely when no membership moved, and the
+// published member views (CellIDs, SeedPoints) are reused from the
+// previous refresh for clusters that did not change. With fullExtract
+// set, the PR 2 from-scratch rebuild runs instead (identical output).
 func (e *EDMStream) refreshClustering(now float64) {
 	e.sweep(now)
 	e.lastSweep = now
 
 	if e.cfg.AdaptiveTau {
-		deltas := make([]float64, 0, e.tree.size())
+		deltas := e.deltas[:0]
 		for _, c := range e.tree.list {
 			deltas = append(deltas, c.delta)
 		}
+		e.deltas = deltas[:0]
 		e.tuner.retune(deltas)
 	}
 	tau := e.tuner.tau
 
+	if e.fullExtract {
+		e.refreshClusteringFull(now, tau)
+		return
+	}
+
+	changed := e.tree.extract(tau)
+	clusters := e.tree.clusters
+	if changed {
+		part := e.part[:0]
+		for _, cl := range clusters {
+			// A cluster whose views are stale is exactly one whose
+			// membership changed since the last refresh; the tracker
+			// settles the others without touching their members.
+			chg := !cl.viewsValid
+			cl.buildViews()
+			part = append(part, obsCluster{ids: cl.ids, prevID: cl.id, changed: chg})
+		}
+		e.part = part[:0]
+		ids := e.tracker.observe(now, part)
+		for i, cl := range clusters {
+			cl.id = ids[i]
+		}
+		e.tree.partChanged = false
+	}
+
+	// lnNow is the decay-normalization offset at snapshot time: a
+	// cell's timely density is exp(logNorm − lnNow), one exp instead of
+	// one Pow per member (see Cell.logNorm).
+	lnNow := e.lnDecay * now
+	infos := make([]ClusterInfo, 0, len(clusters))
+	for _, cl := range clusters {
+		cl.buildViews()
+		peak := cl.peak
+		info := ClusterInfo{
+			ID:          cl.id,
+			PeakCellID:  peak.id,
+			PeakDensity: math.Exp(peak.logNorm - lnNow),
+			CellIDs:     cl.ids,
+			SeedPoints:  cl.seeds,
+		}
+		// Member order (and with it the CellIDs ↔ SeedPoints
+		// correspondence and the float summation order of Weight) is
+		// fixed by cell ID so snapshots are fully deterministic.
+		for _, c := range cl.members {
+			info.Weight += math.Exp(c.logNorm - lnNow)
+			info.Points += c.count
+		}
+		infos = append(infos, info)
+	}
+	sortClusterInfo(infos)
+	e.publishSnapshot(now, tau, infos, changed)
+}
+
+// refreshClusteringFull is the preserved PR 2 refresh: a from-scratch
+// msdSubtrees walk with per-refresh membership structures and seed
+// clones, and an unconditional evolution diff. Its output is
+// byte-identical to the incremental path; it exists as the baseline
+// the serve benchmark and the equivalence property tests compare
+// against.
+func (e *EDMStream) refreshClusteringFull(now, tau float64) {
+	// The incremental dirty set is not consumed on this path; drain it
+	// so it cannot grow without bound (and cannot pin deleted cells).
+	for _, c := range e.tree.dirty {
+		c.dirtyMark = false
+	}
+	e.tree.dirty = e.tree.dirty[:0]
+	e.tree.extractValid = false
+
 	subtrees := e.tree.msdSubtrees(tau)
 	peaks := make([]*Cell, 0, len(subtrees))
-	partition := make([]map[int64]bool, 0, len(subtrees))
 	members := make([][]*Cell, 0, len(subtrees))
 	for peak, cells := range subtrees {
 		peaks = append(peaks, peak)
-		set := make(map[int64]bool, len(cells))
-		for _, c := range cells {
-			set[c.id] = true
-		}
-		partition = append(partition, set)
 		members = append(members, cells)
 	}
-	// Deterministic order (by peak cell id) before the tracker assigns IDs.
+	// Deterministic order (by peak cell id) before the tracker assigns
+	// IDs.
 	order := make([]int, len(peaks))
 	for i := range order {
 		order[i] = i
 	}
-	for i := 0; i < len(order); i++ {
-		for j := i + 1; j < len(order); j++ {
-			if peaks[order[j]].id < peaks[order[i]].id {
-				order[i], order[j] = order[j], order[i]
-			}
-		}
-	}
-	ordered := make([]map[int64]bool, len(order))
+	sort.Slice(order, func(a, b int) bool { return peaks[order[a]].id < peaks[order[b]].id })
+	partition := make([]obsCluster, len(order))
 	for i, idx := range order {
-		ordered[i] = partition[idx]
+		sort.Slice(members[idx], func(a, b int) bool { return members[idx][a].id < members[idx][b].id })
+		ids := make([]int64, len(members[idx]))
+		for j, c := range members[idx] {
+			ids[j] = c.id
+		}
+		partition[i] = obsCluster{ids: ids, changed: true}
 	}
-	ids := e.tracker.observe(now, ordered)
+	ids := e.tracker.observe(now, partition)
 
+	lnNow := e.lnDecay * now
 	clusters := make([]ClusterInfo, 0, len(order))
 	for i, idx := range order {
 		peak := peaks[idx]
 		info := ClusterInfo{
 			ID:          ids[i],
 			PeakCellID:  peak.id,
-			PeakDensity: peak.Density(now, e.cfg.Decay),
+			PeakDensity: math.Exp(peak.logNorm - lnNow),
+			CellIDs:     partition[i].ids,
 		}
-		// Member order (and with it the CellIDs ↔ SeedPoints
-		// correspondence and the float summation order of Weight) is
-		// fixed by cell ID so snapshots are fully deterministic.
-		sort.Slice(members[idx], func(a, b int) bool { return members[idx][a].id < members[idx][b].id })
 		for _, c := range members[idx] {
-			info.CellIDs = append(info.CellIDs, c.id)
-			// Clone the seed so callers can hold or mutate the snapshot
-			// without aliasing the cell's internal state.
+			// Clone the seed per refresh, as the PR 2 path did.
 			info.SeedPoints = append(info.SeedPoints, c.seed.Clone())
-			info.Weight += c.Density(now, e.cfg.Decay)
+			info.Weight += math.Exp(c.logNorm - lnNow)
 			info.Points += c.count
 		}
 		clusters = append(clusters, info)
 	}
 	sortClusterInfo(clusters)
+	e.publishSnapshot(now, tau, clusters, true)
+}
 
-	e.lastSnapshot = Snapshot{
+// publishSnapshot atomically swaps in the new read-side state. When
+// membership did not change, the previous snapshot's query-index
+// holder is carried forward, so steady-state refreshes never
+// invalidate a built index.
+func (e *EDMStream) publishSnapshot(now, tau float64, clusters []ClusterInfo, changed bool) {
+	pub := &published{snap: Snapshot{
 		Time:         now,
 		Tau:          tau,
 		Clusters:     clusters,
 		OutlierCells: e.res.size(),
 		ActiveCells:  e.tree.size(),
+	}}
+	if prev := e.pub.Load(); prev != nil && !changed {
+		pub.assign = prev.assign
+	} else {
+		pub.assign = &assignHolder{}
 	}
+	e.pub.Store(pub)
 }
 
-// Snapshot refreshes and returns the current clustering. It forces
-// initialization if the stream is still in its init phase.
-func (e *EDMStream) Snapshot() Snapshot {
+// Refresh recomputes the clustering at the latest observed stream time
+// and publishes it, returning the published (read-only) snapshot
+// view. It is the refresh primitive behind Snapshot, exposed so
+// benchmarks and serving loops can trigger a refresh without paying
+// for Snapshot's defensive deep copy. The returned snapshot shares
+// its slices with the published state and must be treated as
+// read-only.
+func (e *EDMStream) Refresh() Snapshot {
 	if !e.initialized {
 		e.finalizeInit(e.now)
 	} else {
 		e.refreshClustering(e.now)
 		e.lastEvolution = e.now
 	}
-	return e.lastSnapshot
+	e.publishStats()
+	if pub := e.pub.Load(); pub != nil {
+		return pub.snap
+	}
+	return Snapshot{}
 }
 
-// LastSnapshot returns the most recent snapshot without recomputing the
-// clustering.
-func (e *EDMStream) LastSnapshot() Snapshot { return e.lastSnapshot }
+// Snapshot refreshes and returns the current clustering. It forces
+// initialization if the stream is still in its init phase. The result
+// is an independent deep copy the caller may hold or mutate freely;
+// serving loops that only read should prefer LastSnapshot, which
+// returns the shared published view without copying.
+func (e *EDMStream) Snapshot() Snapshot {
+	return e.Refresh().clone()
+}
+
+// LastSnapshot returns the most recent published snapshot without
+// recomputing the clustering. It is safe to call from any goroutine
+// concurrently with ingestion. The returned snapshot is a shared
+// read-only view: callers must not modify its slices (use Snapshot
+// for an owned copy).
+func (e *EDMStream) LastSnapshot() Snapshot {
+	if pub := e.pub.Load(); pub != nil {
+		return pub.snap
+	}
+	return Snapshot{}
+}
 
 // Clusters implements stream.Clusterer: it refreshes the clustering at
-// time now and reports the macro-clusters.
+// time now and reports the macro-clusters. Like Snapshot it returns
+// owned data (MacroCluster centers alias the deep copy, not the shared
+// published views), so harness code may mutate the result freely.
 func (e *EDMStream) Clusters(now float64) []stream.MacroCluster {
 	if now > e.now {
 		e.now = now
@@ -762,9 +1011,88 @@ func (e *EDMStream) Clusters(now float64) []stream.MacroCluster {
 	return e.Snapshot().MacroClusters()
 }
 
-// Events returns the cluster evolution log recorded so far.
+// Events returns the cluster evolution log recorded so far. It is safe
+// to call from any goroutine concurrently with ingestion.
 func (e *EDMStream) Events() []Event {
-	return append([]Event(nil), e.tracker.log()...)
+	return e.tracker.logView()
+}
+
+// SetFullExtraction switches the engine to the from-scratch cluster
+// extraction (the PR 2 refresh path) when on is true. The clustering
+// output is byte-identical to the incremental default; only the
+// refresh cost differs. It exists for benchmarking and for the
+// incremental-vs-full equivalence tests, and must be set before the
+// first point is ingested.
+func (e *EDMStream) SetFullExtraction(on bool) { e.fullExtract = on }
+
+// Assign classifies a point against the most recent published
+// snapshot: it returns the ID of the cluster whose member cell's seed
+// is nearest to p within the cell radius, or ok == false when no
+// cluster claims the point (it would be an outlier) or no snapshot has
+// been published yet. It is safe to call from any number of goroutines
+// concurrently with ingestion, never blocks the write path, and does
+// not allocate.
+//
+// The classification is against the published snapshot, not the live
+// cells: a point near a cell that emerged after the last refresh is
+// not matched until the next refresh publishes it.
+func (e *EDMStream) Assign(p stream.Point) (int, bool) {
+	pub := e.pub.Load()
+	if pub == nil {
+		return 0, false
+	}
+	return e.frozenIndex(pub).Assign(p)
+}
+
+// AssignBatch classifies every point in pts against one consistent
+// published snapshot, overwriting dst (reusing its backing) with one
+// cluster ID per point and returning it; outliers get AssignOutlier.
+// Like Assign it is safe for concurrent use.
+func (e *EDMStream) AssignBatch(pts []stream.Point, dst []int) []int {
+	dst = dst[:0]
+	pub := e.pub.Load()
+	if pub == nil {
+		for range pts {
+			dst = append(dst, AssignOutlier)
+		}
+		return dst
+	}
+	idx := e.frozenIndex(pub)
+	for i := range pts {
+		if id, ok := idx.Assign(pts[i]); ok {
+			dst = append(dst, id)
+		} else {
+			dst = append(dst, AssignOutlier)
+		}
+	}
+	return dst
+}
+
+// AssignOutlier is the cluster ID AssignBatch reports for points no
+// cluster claims.
+const AssignOutlier = -1
+
+// frozenIndex returns the query index for the published state,
+// building it on first use. Concurrent first queries may build it
+// twice; the CAS keeps exactly one and the loser's work is discarded
+// (the index derives deterministically from the immutable snapshot,
+// so both candidates are interchangeable).
+func (e *EDMStream) frozenIndex(pub *published) *index.Frozen {
+	if f := pub.assign.frozen.Load(); f != nil {
+		return f
+	}
+	b := index.NewFrozenBuilder(e.cfg.Radius)
+	for ci := range pub.snap.Clusters {
+		cl := &pub.snap.Clusters[ci]
+		for i, id := range cl.CellIDs {
+			b.Add(id, cl.SeedPoints[i], cl.ID)
+		}
+	}
+	f := b.Freeze()
+	if !pub.assign.frozen.CompareAndSwap(nil, f) {
+		f = pub.assign.frozen.Load()
+	}
+	return f
 }
 
 // CheckInvariants validates the DP-Tree invariants; it returns an error
@@ -804,6 +1132,11 @@ func (e *EDMStream) CheckInvariants() error {
 	}
 	if e.seedIdx == nil && e.cells.len() > 0 {
 		return fmt.Errorf("core: %d cells registered without a seed index", e.cells.len())
+	}
+	if !e.fullExtract {
+		if msg := e.tree.clusterBookkeepingInvariants(); msg != "" {
+			return fmt.Errorf("core: invariant violation: %s", msg)
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // EventKind is one of the five cluster evolution activities of Table 1.
@@ -59,58 +60,139 @@ func (e Event) String() string {
 }
 
 // evolutionTracker derives cluster evolution events by diffing
-// consecutive cluster-membership snapshots (each snapshot maps a
-// cluster ID to the set of cluster-cell IDs it contains), which is how
-// the DP-Tree's structural updates surface to the caller (Sec. 3.3).
-// It also owns the assignment of stable cluster IDs: a cluster keeps
-// its ID across snapshots as long as it is the best continuation of a
+// consecutive cluster-membership snapshots (each snapshot is a list of
+// sorted member-cell-ID slices, one per MSDSubTree), which is how the
+// DP-Tree's structural updates surface to the caller (Sec. 3.3). It
+// also owns the assignment of stable cluster IDs: a cluster keeps its
+// ID across snapshots as long as it is the best continuation of a
 // previous cluster.
+//
+// The tracker is written by the owning goroutine only (observe runs at
+// clustering refreshes); concurrent readers get the log through the
+// atomically published view header, which is safe because the events
+// slice is append-only and readers never look past their loaded
+// length.
 type evolutionTracker struct {
 	nextClusterID int
-	// prev maps cluster ID -> member cell IDs of the previous snapshot.
-	prev map[int]map[int64]bool
+	// prev maps cluster ID -> sorted member cell IDs of the previous
+	// snapshot.
+	prev map[int][]int64
 	// events is the append-only evolution log.
 	events    []Event
 	maxEvents int
+	// view is the atomically published log header for concurrent
+	// readers (Events).
+	view atomic.Pointer[[]Event]
+
+	// Scratch reused across observe calls so steady-state refreshes do
+	// not allocate for the diff bookkeeping.
+	prevOwner   map[int64]int
+	counts      map[int]int
+	matches     []trackerMatch
+	inPlay      []int
+	firstPrev   []int
+	firstCur    map[int]int
+	curClaimed  map[int]bool
+	prevClaimed map[int]bool
+}
+
+type trackerMatch struct {
+	cur, prevID, overlap int
 }
 
 func newEvolutionTracker(maxEvents int) *evolutionTracker {
-	return &evolutionTracker{nextClusterID: 1, prev: map[int]map[int64]bool{}, maxEvents: maxEvents}
+	return &evolutionTracker{
+		nextClusterID: 1,
+		prev:          map[int][]int64{},
+		maxEvents:     maxEvents,
+		prevOwner:     map[int64]int{},
+		counts:        map[int]int{},
+		firstCur:      map[int]int{},
+		curClaimed:    map[int]bool{},
+		prevClaimed:   map[int]bool{},
+	}
 }
 
-// observe ingests the current partition (a list of cell-ID sets, one
-// per MSDSubTree, in any order) at the given time. It returns the
-// cluster IDs assigned to each input set, in the same order, and
-// appends any detected evolution events to the log.
-func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []int {
+// obsCluster is one cluster of the partition handed to observe: its
+// sorted member cell IDs, plus the incremental-extraction hints. When
+// changed is false the caller guarantees the member set is exactly the
+// set observed last time under cluster ID prevID; the tracker then
+// settles the cluster's identity without touching its members. An
+// unchanged cluster is isolated in the overlap graph — its cells
+// appear in no other current cluster and its previous cells in no
+// other previous cluster — so excluding it from the greedy matching
+// cannot change any other cluster's outcome, and the diff cost scales
+// with the churn, not the partition size.
+type obsCluster struct {
+	ids     []int64
+	prevID  int
+	changed bool
+}
+
+// observe ingests the current partition (one obsCluster per
+// MSDSubTree, in a deterministic order) at the given time. It returns
+// the cluster IDs assigned to each input cluster, in the same order,
+// and appends any detected evolution events to the log. The input id
+// slices are retained until the member set changes; callers must
+// treat them as immutable once passed (the engine's copy-on-change
+// views satisfy this).
+func (t *evolutionTracker) observe(now float64, partition []obsCluster) []int {
 	ids := make([]int, len(partition))
 
-	// Overlap between every current cluster and every previous cluster,
-	// via an inverted cell → previous-cluster index: cost is one pass
-	// over the previous cells plus one over the current cells, instead
-	// of the current × previous quadratic set intersection.
-	prevOwner := make(map[int64]int)
+	clear(t.curClaimed)
+	clear(t.prevClaimed)
+	curClaimed, prevClaimed := t.curClaimed, t.prevClaimed
+
+	// Settle unchanged clusters first: identity continues, no events.
+	for i := range partition {
+		oc := &partition[i]
+		if oc.changed {
+			continue
+		}
+		if _, ok := t.prev[oc.prevID]; !ok || prevClaimed[oc.prevID] {
+			// The caller's hint does not match the tracker's state
+			// (first observation, or a stale id); fall back to the full
+			// treatment for this cluster.
+			oc.changed = true
+			continue
+		}
+		ids[i] = oc.prevID
+		curClaimed[i] = true
+		prevClaimed[oc.prevID] = true
+	}
+
+	// Overlap between every remaining current cluster and every
+	// remaining ("in play") previous cluster, via an inverted cell →
+	// previous-cluster index: cost is one pass over the in-play
+	// previous cells plus one over the changed current cells.
+	clear(t.prevOwner)
+	inPlay := t.inPlay[:0]
 	for prevID, prevSet := range t.prev {
-		for cell := range prevSet {
-			prevOwner[cell] = prevID
+		if prevClaimed[prevID] {
+			continue
+		}
+		inPlay = append(inPlay, prevID)
+		for _, cell := range prevSet {
+			t.prevOwner[cell] = prevID
 		}
 	}
-	type match struct {
-		cur, prevID, overlap int
-	}
-	var matches []match
-	counts := make(map[int]int)
-	for i, cur := range partition {
-		clear(counts)
-		for cell := range cur {
-			if prevID, ok := prevOwner[cell]; ok {
-				counts[prevID]++
+	t.inPlay = inPlay[:0]
+	matches := t.matches[:0]
+	for i := range partition {
+		if curClaimed[i] {
+			continue
+		}
+		clear(t.counts)
+		for _, cell := range partition[i].ids {
+			if prevID, ok := t.prevOwner[cell]; ok {
+				t.counts[prevID]++
 			}
 		}
-		for prevID, ov := range counts {
-			matches = append(matches, match{cur: i, prevID: prevID, overlap: ov})
+		for prevID, ov := range t.counts {
+			matches = append(matches, trackerMatch{cur: i, prevID: prevID, overlap: ov})
 		}
 	}
+	t.matches = matches[:0]
 	// Greedy best-overlap matching: the largest overlaps claim identity
 	// continuation first. Ties break deterministically.
 	sort.Slice(matches, func(a, b int) bool {
@@ -122,15 +204,24 @@ func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []in
 		}
 		return matches[a].cur < matches[b].cur
 	})
-	curClaimed := make(map[int]bool)  // current index -> has an ID
-	prevClaimed := make(map[int]bool) // previous ID -> continued
-	// curOverlaps[i] lists the previous clusters overlapping current i;
-	// prevOverlaps[p] lists the current clusters overlapping previous p.
-	curOverlaps := make(map[int][]int)
-	prevOverlaps := make(map[int][]int)
+	// firstPrev[i] is the dominant (best-overlap, in sorted-match
+	// order) previous cluster of current i, firstCur[p] the dominant
+	// current cluster of previous p; they attribute split products and
+	// merge victims to their main counterpart without building full
+	// overlap lists.
+	firstPrev := t.firstPrev[:0]
+	for range partition {
+		firstPrev = append(firstPrev, -1)
+	}
+	t.firstPrev = firstPrev[:0]
+	clear(t.firstCur)
 	for _, m := range matches {
-		curOverlaps[m.cur] = append(curOverlaps[m.cur], m.prevID)
-		prevOverlaps[m.prevID] = append(prevOverlaps[m.prevID], m.cur)
+		if firstPrev[m.cur] == -1 {
+			firstPrev[m.cur] = m.prevID
+		}
+		if _, ok := t.firstCur[m.prevID]; !ok {
+			t.firstCur[m.prevID] = m.cur
+		}
 	}
 	for _, m := range matches {
 		if curClaimed[m.cur] || prevClaimed[m.prevID] {
@@ -154,8 +245,7 @@ func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []in
 		id := t.nextClusterID
 		t.nextClusterID++
 		ids[i] = id
-		if prevs := curOverlaps[i]; len(prevs) > 0 {
-			src := prevs[0]
+		if src := firstPrev[i]; src != -1 {
 			splitProducts[src] = append(splitProducts[src], id)
 		} else {
 			events = append(events, Event{Kind: Emerge, Time: now, Targets: []int{id}})
@@ -174,12 +264,12 @@ func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []in
 	// Unclaimed previous clusters either merged into a current cluster
 	// (they overlap one) or disappeared.
 	mergedInto := map[int][]int{} // current cluster ID -> previous IDs absorbed
-	for prevID := range t.prev {
+	for _, prevID := range inPlay {
 		if prevClaimed[prevID] {
 			continue
 		}
-		if curs := prevOverlaps[prevID]; len(curs) > 0 {
-			target := ids[curs[0]]
+		if cur, ok := t.firstCur[prevID]; ok {
+			target := ids[cur]
 			mergedInto[target] = append(mergedInto[target], prevID)
 		} else {
 			events = append(events, Event{Kind: Disappear, Time: now, Sources: []int{prevID}})
@@ -203,13 +293,14 @@ func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []in
 			reported[id] = true
 		}
 	}
-	for i, cur := range partition {
+	for i := range partition {
 		id := ids[i]
-		if !curClaimed[i] || reported[id] {
+		// Unchanged clusters are Equal to their previous set by
+		// contract; only changed continuing clusters can adjust.
+		if !curClaimed[i] || !partition[i].changed || reported[id] {
 			continue
 		}
-		prevSet := t.prev[id]
-		if !sameCellSet(cur, prevSet) {
+		if !slices.Equal(partition[i].ids, t.prev[id]) {
 			events = append(events, Event{Kind: Adjust, Time: now, Sources: []int{id}, Targets: []int{id}})
 		}
 	}
@@ -230,27 +321,39 @@ func (t *evolutionTracker) observe(now float64, partition []map[int64]bool) []in
 	if t.maxEvents > 0 && len(t.events) > t.maxEvents {
 		t.events = t.events[len(t.events)-t.maxEvents:]
 	}
+	t.publish()
 
-	// Store the new snapshot for the next diff.
-	next := make(map[int]map[int64]bool, len(partition))
-	for i, cur := range partition {
-		next[ids[i]] = cur
+	// Store the new snapshot for the next diff. Unchanged clusters'
+	// entries are already exact; in-play previous clusters were
+	// continued (re-stored below under the same ID), merged or
+	// disappeared, so their old entries go.
+	for _, prevID := range inPlay {
+		delete(t.prev, prevID)
 	}
-	t.prev = next
+	for i := range partition {
+		if partition[i].changed {
+			t.prev[ids[i]] = partition[i].ids
+		}
+	}
 	return ids
 }
 
-func sameCellSet(a, b map[int64]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if !b[k] {
-			return false
-		}
-	}
-	return true
+// publish stores the current log header for concurrent readers.
+func (t *evolutionTracker) publish() {
+	hdr := t.events
+	t.view.Store(&hdr)
 }
 
-// log returns the recorded events.
+// log returns the recorded events (owner goroutine only; concurrent
+// readers go through logView).
 func (t *evolutionTracker) log() []Event { return t.events }
+
+// logView returns a copy of the recorded events, safe to call from any
+// goroutine concurrently with ingestion.
+func (t *evolutionTracker) logView() []Event {
+	h := t.view.Load()
+	if h == nil {
+		return nil
+	}
+	return append([]Event(nil), (*h)...)
+}

@@ -1,15 +1,26 @@
 package core
 
 import (
+	"slices"
 	"testing"
 )
 
-func cellSet(ids ...int64) map[int64]bool {
-	s := make(map[int64]bool, len(ids))
-	for _, id := range ids {
-		s[id] = true
+// cellSet builds one partition member list: observe takes sorted
+// cell-ID slices.
+func cellSet(ids ...int64) []int64 {
+	out := append([]int64(nil), ids...)
+	slices.Sort(out)
+	return out
+}
+
+// obs wraps member lists as a full-diff partition (every cluster
+// marked changed), the way the from-scratch rebuild calls observe.
+func obs(sets ...[]int64) []obsCluster {
+	out := make([]obsCluster, len(sets))
+	for i, s := range sets {
+		out[i] = obsCluster{ids: s, changed: true}
 	}
-	return s
+	return out
 }
 
 func eventsOfKind(events []Event, kind EventKind) []Event {
@@ -24,7 +35,7 @@ func eventsOfKind(events []Event, kind EventKind) []Event {
 
 func TestEvolutionEmergeAndContinuity(t *testing.T) {
 	tr := newEvolutionTracker(0)
-	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2, 3)})
+	ids := tr.observe(1, obs(cellSet(1, 2, 3)))
 	if len(ids) != 1 {
 		t.Fatalf("expected one cluster ID, got %v", ids)
 	}
@@ -34,7 +45,7 @@ func TestEvolutionEmergeAndContinuity(t *testing.T) {
 	}
 	// The same cluster (same cells, slightly changed) keeps its ID and
 	// produces no new emerge event.
-	ids = tr.observe(2, []map[int64]bool{cellSet(1, 2, 3, 4)})
+	ids = tr.observe(2, obs(cellSet(1, 2, 3, 4)))
 	if ids[0] != first {
 		t.Errorf("cluster lost its identity: %d -> %d", first, ids[0])
 	}
@@ -49,8 +60,8 @@ func TestEvolutionEmergeAndContinuity(t *testing.T) {
 
 func TestEvolutionSecondClusterEmerges(t *testing.T) {
 	tr := newEvolutionTracker(0)
-	tr.observe(1, []map[int64]bool{cellSet(1, 2)})
-	ids := tr.observe(2, []map[int64]bool{cellSet(1, 2), cellSet(10, 11)})
+	tr.observe(1, obs(cellSet(1, 2)))
+	ids := tr.observe(2, obs(cellSet(1, 2), cellSet(10, 11)))
 	if ids[0] == ids[1] {
 		t.Fatalf("distinct clusters must get distinct IDs: %v", ids)
 	}
@@ -61,8 +72,8 @@ func TestEvolutionSecondClusterEmerges(t *testing.T) {
 
 func TestEvolutionDisappear(t *testing.T) {
 	tr := newEvolutionTracker(0)
-	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2), cellSet(10, 11)})
-	tr.observe(2, []map[int64]bool{cellSet(1, 2)})
+	ids := tr.observe(1, obs(cellSet(1, 2), cellSet(10, 11)))
+	tr.observe(2, obs(cellSet(1, 2)))
 	dis := eventsOfKind(tr.log(), Disappear)
 	if len(dis) != 1 {
 		t.Fatalf("expected one disappear event, got %v", tr.log())
@@ -74,9 +85,9 @@ func TestEvolutionDisappear(t *testing.T) {
 
 func TestEvolutionSplit(t *testing.T) {
 	tr := newEvolutionTracker(0)
-	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2, 3, 4, 5, 6)})
+	ids := tr.observe(1, obs(cellSet(1, 2, 3, 4, 5, 6)))
 	orig := ids[0]
-	ids = tr.observe(2, []map[int64]bool{cellSet(1, 2, 3), cellSet(4, 5, 6)})
+	ids = tr.observe(2, obs(cellSet(1, 2, 3), cellSet(4, 5, 6)))
 	splits := eventsOfKind(tr.log(), Split)
 	if len(splits) != 1 {
 		t.Fatalf("expected one split event, got %v", tr.log())
@@ -99,9 +110,9 @@ func TestEvolutionSplit(t *testing.T) {
 
 func TestEvolutionMerge(t *testing.T) {
 	tr := newEvolutionTracker(0)
-	ids := tr.observe(1, []map[int64]bool{cellSet(1, 2, 3), cellSet(10, 11)})
+	ids := tr.observe(1, obs(cellSet(1, 2, 3), cellSet(10, 11)))
 	a, b := ids[0], ids[1]
-	merged := tr.observe(2, []map[int64]bool{cellSet(1, 2, 3, 10, 11)})
+	merged := tr.observe(2, obs(cellSet(1, 2, 3, 10, 11)))
 	merges := eventsOfKind(tr.log(), Merge)
 	if len(merges) != 1 {
 		t.Fatalf("expected one merge event, got %v", tr.log())
@@ -128,8 +139,8 @@ func TestEvolutionMerge(t *testing.T) {
 
 func TestEvolutionSplitThreeWays(t *testing.T) {
 	tr := newEvolutionTracker(0)
-	tr.observe(1, []map[int64]bool{cellSet(1, 2, 3, 4, 5, 6, 7, 8, 9)})
-	tr.observe(2, []map[int64]bool{cellSet(1, 2, 3), cellSet(4, 5, 6), cellSet(7, 8, 9)})
+	tr.observe(1, obs(cellSet(1, 2, 3, 4, 5, 6, 7, 8, 9)))
+	tr.observe(2, obs(cellSet(1, 2, 3), cellSet(4, 5, 6), cellSet(7, 8, 9)))
 	splits := eventsOfKind(tr.log(), Split)
 	if len(splits) != 1 {
 		t.Fatalf("expected one split event, got %v", tr.log())
@@ -141,9 +152,9 @@ func TestEvolutionSplitThreeWays(t *testing.T) {
 
 func TestEvolutionNoChangeNoEvents(t *testing.T) {
 	tr := newEvolutionTracker(0)
-	tr.observe(1, []map[int64]bool{cellSet(1, 2), cellSet(5, 6)})
+	tr.observe(1, obs(cellSet(1, 2), cellSet(5, 6)))
 	before := len(tr.log())
-	tr.observe(2, []map[int64]bool{cellSet(1, 2), cellSet(5, 6)})
+	tr.observe(2, obs(cellSet(1, 2), cellSet(5, 6)))
 	if len(tr.log()) != before {
 		t.Errorf("identical partitions should produce no events, got %v", tr.log()[before:])
 	}
@@ -154,7 +165,7 @@ func TestEvolutionEmptyPartitions(t *testing.T) {
 	if ids := tr.observe(1, nil); len(ids) != 0 {
 		t.Errorf("empty partition should yield no IDs, got %v", ids)
 	}
-	tr.observe(2, []map[int64]bool{cellSet(1)})
+	tr.observe(2, obs(cellSet(1)))
 	tr.observe(3, nil)
 	if got := eventsOfKind(tr.log(), Disappear); len(got) != 1 {
 		t.Errorf("cluster vanishing into an empty partition should disappear: %v", tr.log())
@@ -166,9 +177,9 @@ func TestEvolutionMaxEventsCap(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		// Alternate between two disjoint partitions to force events.
 		if i%2 == 0 {
-			tr.observe(float64(i), []map[int64]bool{cellSet(int64(i*10 + 1))})
+			tr.observe(float64(i), obs(cellSet(int64(i*10+1))))
 		} else {
-			tr.observe(float64(i), []map[int64]bool{cellSet(int64(i*10 + 5))})
+			tr.observe(float64(i), obs(cellSet(int64(i*10+5))))
 		}
 	}
 	if len(tr.log()) > 3 {

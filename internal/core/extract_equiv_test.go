@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// driftStream generates a 2-D stream whose second cluster drifts
+// toward the first and back again, forcing the full evolution
+// vocabulary: the approach merges the two density mountains (their
+// dependency link drops below τ), the retreat splits them again, and
+// the density fluctuations along the way produce adjusts, emerges and
+// disappears. The incremental-vs-full equivalence test needs all of
+// these transitions, not just a stationary partition.
+func driftStream(seed int64, n int) []stream.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]stream.Point, 0, n)
+	for len(pts) < n {
+		frac := float64(len(pts)) / float64(n)
+		// B's center swings from x=10 in to x=2 and back out.
+		var bx float64
+		switch {
+		case frac < 0.35:
+			bx = 10 - frac/0.35*8
+		case frac < 0.65:
+			bx = 2
+		default:
+			bx = 2 + (frac-0.65)/0.35*8
+		}
+		var cx, cy float64
+		switch rng.Intn(6) {
+		case 0, 1:
+			cx, cy = 0, 0
+		case 2, 3:
+			cx, cy = bx, 0
+		case 4:
+			// A transient blob active only in the middle of the stream:
+			// it emerges, then starves, decays and disappears.
+			if frac < 0.3 || frac > 0.5 {
+				continue
+			}
+			cx, cy = 5, 5
+		default:
+			// Noise over the whole span exercises the reservoir and
+			// emerge/disappear paths.
+			pts = append(pts, stream.Point{
+				ID:     int64(len(pts)),
+				Vector: []float64{rng.Float64()*16 - 3, rng.Float64()*8 - 4},
+				Time:   float64(len(pts)) / 1000,
+				Label:  stream.NoLabel,
+			})
+			continue
+		}
+		burst := 1 + rng.Intn(6)
+		jx := cx + rng.NormFloat64()*0.5
+		jy := cy + rng.NormFloat64()*0.5
+		for b := 0; b < burst && len(pts) < n; b++ {
+			pts = append(pts, stream.Point{
+				ID:     int64(len(pts)),
+				Vector: []float64{jx + rng.NormFloat64()*0.15, jy + rng.NormFloat64()*0.15},
+				Time:   float64(len(pts)) / 1000,
+				Label:  stream.NoLabel,
+			})
+		}
+	}
+	return pts
+}
+
+// extractRun feeds pts into a fresh engine (incremental or full
+// extraction) in batches of batchSize, snapshotting every snapEvery
+// points. After every snapshot the incremental engine's cached
+// partition is cross-checked against a from-scratch msdSubtrees
+// computation.
+func extractRun(t *testing.T, cfg Config, pts []stream.Point, batchSize, snapEvery int, full bool) (*EDMStream, []Snapshot) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetFullExtraction(full)
+	var snaps []Snapshot
+	for i := 0; i < len(pts); i += batchSize {
+		end := i + batchSize
+		if end > len(pts) {
+			end = len(pts)
+		}
+		if err := e.InsertBatch(pts[i:end]); err != nil {
+			t.Fatalf("InsertBatch(%d:%d): %v", i, end, err)
+		}
+		if end%snapEvery == 0 || end == len(pts) {
+			snaps = append(snaps, e.Snapshot())
+			if !full {
+				if msg := e.tree.checkExtraction(); msg != "" {
+					t.Fatalf("after %d points: %s", end, msg)
+				}
+			}
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return e, snaps
+}
+
+// TestIncrementalFullEquivalence is the incremental-extraction
+// property test: across index policies, batch sizes, static and
+// adaptive τ, an engine using incremental extraction must produce
+// byte-identical snapshots (cluster IDs, peaks, members, weights) and
+// byte-identical evolution logs to an engine rebuilding the partition
+// from scratch at every refresh. Dirty-subtree tracking, the
+// evolution-diff skip and view reuse only change how much work a
+// refresh does, never its outcome.
+func TestIncrementalFullEquivalence(t *testing.T) {
+	streams := map[string][]stream.Point{
+		"drift":  driftStream(19, 6000),
+		"bursty": burstyStream(7, 3000, 3, 0.15),
+	}
+	cfgs := map[string]Config{
+		"static": {
+			Radius: 0.8, Tau: 2.5, InitPoints: 200,
+			EvolutionInterval: 0.25, SweepInterval: 0.2,
+		},
+		"adaptive": {
+			Radius: 0.8, AdaptiveTau: true, Tau: 2.5, InitPoints: 200,
+			EvolutionInterval: 0.25, SweepInterval: 0.2,
+		},
+	}
+	const snapEvery = 500
+	batchSizes := []int{1, 25, 250}
+
+	for sname, pts := range streams {
+		for cname, cfg := range cfgs {
+			for _, policy := range []IndexPolicy{IndexGrid, IndexLinear} {
+				cfg := cfg
+				cfg.IndexPolicy = policy
+				fullRun, fullSnaps := extractRun(t, cfg, pts, snapEvery, snapEvery, true)
+				for _, bs := range batchSizes {
+					t.Run(sname+"/"+cname+"/"+policy.String(), func(t *testing.T) {
+						incRun, incSnaps := extractRun(t, cfg, pts, bs, snapEvery, false)
+						compareSnapshots(t, incSnaps, fullSnaps)
+						compareCells(t, incRun, fullRun)
+						compareEvents(t, incRun.Events(), fullRun.Events())
+						if incRun.Tau() != fullRun.Tau() {
+							t.Fatalf("τ differs: incremental %v, full %v", incRun.Tau(), fullRun.Tau())
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDriftStreamCoversEvolution pins that the drift stream actually
+// exercises splits and merges (otherwise the equivalence test above
+// silently loses its hardest cases).
+func TestDriftStreamCoversEvolution(t *testing.T) {
+	cfg := Config{Radius: 0.8, Tau: 2.5, InitPoints: 200, EvolutionInterval: 0.25, SweepInterval: 0.2}
+	e, _ := extractRun(t, cfg, driftStream(19, 6000), 25, 500, false)
+	kinds := map[EventKind]int{}
+	for _, ev := range e.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []EventKind{Emerge, Disappear, Split, Merge, Adjust} {
+		if kinds[k] == 0 {
+			t.Errorf("drift stream produced no %s events: %v", k, kinds)
+		}
+	}
+}
+
+// TestIncrementalAssignMatchesSnapshot checks the read-side query
+// against ground truth: every cell seed in the published snapshot must
+// be assigned to its own cluster, and a point far from every seed must
+// be an outlier.
+func TestIncrementalAssignMatchesSnapshot(t *testing.T) {
+	cfg := Config{Radius: 0.8, Tau: 2.5, InitPoints: 200, EvolutionInterval: 0.25, SweepInterval: 0.2}
+	e, snaps := extractRun(t, cfg, burstyStream(7, 3000, 3, 0.15), 25, 500, false)
+	snap := snaps[len(snaps)-1]
+	if snap.NumClusters() == 0 {
+		t.Fatal("no clusters to query")
+	}
+	checked := 0
+	for _, cl := range snap.Clusters {
+		for _, seed := range cl.SeedPoints {
+			id, ok := e.Assign(seed)
+			if !ok {
+				t.Fatalf("cluster %d seed not assigned", cl.ID)
+			}
+			if id != cl.ID {
+				// A seed can legitimately sit within the radius of a
+				// closer seed from another cluster; verify against the
+				// nearest-seed rule before failing.
+				if nearest := nearestSnapshotCluster(snap, seed); nearest != id {
+					t.Fatalf("Assign = %d, nearest-seed rule says %d", id, nearest)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no seeds checked")
+	}
+	if _, ok := e.Assign(stream.Point{Vector: []float64{1e6, 1e6}, Time: e.Now()}); ok {
+		t.Fatal("far-away point was assigned to a cluster")
+	}
+}
+
+// nearestSnapshotCluster is the naive reference for Assign: the
+// cluster of the seed nearest to p within the engine radius, ties to
+// the lowest cell ID.
+func nearestSnapshotCluster(snap Snapshot, p stream.Point) int {
+	best := -1
+	bestDist := 0.0
+	var bestCell int64
+	for _, cl := range snap.Clusters {
+		for i, seed := range cl.SeedPoints {
+			d := seed.Distance(p)
+			if d > 0.8 {
+				continue
+			}
+			if best == -1 || d < bestDist || (d == bestDist && cl.CellIDs[i] < bestCell) {
+				best, bestDist, bestCell = cl.ID, d, cl.CellIDs[i]
+			}
+		}
+	}
+	return best
+}

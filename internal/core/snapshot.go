@@ -29,7 +29,11 @@ type ClusterInfo struct {
 	Points int64
 }
 
-// Snapshot is an immutable view of the clustering at one point in time.
+// Snapshot is an immutable view of the clustering at one point in
+// time. Snapshots returned by LastSnapshot share their slices with the
+// atomically published read-side state (and with other snapshots) and
+// must be treated as read-only; Snapshot() returns an independent deep
+// copy the caller may mutate.
 type Snapshot struct {
 	// Time is the stream time of the snapshot.
 	Time float64
@@ -47,14 +51,34 @@ type Snapshot struct {
 // NumClusters returns the number of clusters in the snapshot.
 func (s Snapshot) NumClusters() int { return len(s.Clusters) }
 
-// Cluster returns the cluster with the given ID, if present.
+// Cluster returns the cluster with the given ID, if present. Clusters
+// are ordered by ID, so the lookup is a binary search.
 func (s Snapshot) Cluster(id int) (ClusterInfo, bool) {
-	for _, c := range s.Clusters {
-		if c.ID == id {
-			return c, true
-		}
+	i := sort.Search(len(s.Clusters), func(i int) bool { return s.Clusters[i].ID >= id })
+	if i < len(s.Clusters) && s.Clusters[i].ID == id {
+		return s.Clusters[i], true
 	}
 	return ClusterInfo{}, false
+}
+
+// clone returns an independent deep copy of the snapshot: fresh
+// Clusters, CellIDs and SeedPoints backing throughout. Snapshot()
+// hands out clones so callers may mutate the result freely without
+// touching the shared views the published (LastSnapshot / Assign)
+// read path works off.
+func (s Snapshot) clone() Snapshot {
+	out := s
+	out.Clusters = make([]ClusterInfo, len(s.Clusters))
+	for i, c := range s.Clusters {
+		cc := c
+		cc.CellIDs = append([]int64(nil), c.CellIDs...)
+		cc.SeedPoints = make([]stream.Point, len(c.SeedPoints))
+		for j, p := range c.SeedPoints {
+			cc.SeedPoints[j] = p.Clone()
+		}
+		out.Clusters[i] = cc
+	}
+	return out
 }
 
 // MacroClusters converts the snapshot to the shared representation used

@@ -1,0 +1,155 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// frozenReference is the naive rule Frozen.Assign must reproduce: the
+// cluster of the seed nearest to p within radius, ties to the lowest
+// cell ID, +Inf across the numeric/token divide.
+type frozenSeed struct {
+	id      int64
+	cluster int
+	p       stream.Point
+}
+
+func frozenReference(seeds []frozenSeed, p stream.Point, radius float64) (int, bool) {
+	best := -1
+	bestDist := math.Inf(1)
+	var bestID int64
+	for _, s := range seeds {
+		d := s.p.Distance(p)
+		if d <= radius && (best == -1 || d < bestDist || (d == bestDist && s.id < bestID)) {
+			best, bestDist, bestID = s.cluster, d, s.id
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}
+
+func buildFrozen(seeds []frozenSeed, radius float64) *Frozen {
+	b := NewFrozenBuilder(radius)
+	for _, s := range seeds {
+		b.Add(s.id, s.p, s.cluster)
+	}
+	return b.Freeze()
+}
+
+// TestFrozenMatchesReference cross-checks the gridded frozen index
+// against the naive scan on random seed sets and probes, including
+// probes just inside and outside the radius.
+func TestFrozenMatchesReference(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 8} {
+		rng := rand.New(rand.NewSource(int64(dim) * 77))
+		const radius = 0.5
+		var seeds []frozenSeed
+		for i := 0; i < 300; i++ {
+			vec := make([]float64, dim)
+			for d := range vec {
+				vec[d] = rng.Float64() * 10
+			}
+			seeds = append(seeds, frozenSeed{id: int64(i), cluster: 1 + i%7, p: stream.Point{Vector: vec}})
+		}
+		f := buildFrozen(seeds, radius)
+		if f.Len() != len(seeds) {
+			t.Fatalf("dim %d: Len = %d, want %d", dim, f.Len(), len(seeds))
+		}
+		for q := 0; q < 500; q++ {
+			vec := make([]float64, dim)
+			for d := range vec {
+				vec[d] = rng.Float64()*12 - 1
+			}
+			p := stream.Point{Vector: vec}
+			gotID, gotOK := f.Assign(p)
+			wantID, wantOK := frozenReference(seeds, p, radius)
+			if gotOK != wantOK || (gotOK && gotID != wantID) {
+				t.Fatalf("dim %d probe %v: Assign = (%d,%v), reference = (%d,%v)",
+					dim, vec, gotID, gotOK, wantID, wantOK)
+			}
+		}
+	}
+}
+
+// TestFrozenHighDimFallsBack checks that dimensionality above the grid
+// budget uses the exact flat scan.
+func TestFrozenHighDimFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const dim = MaxFrozenGridDim + 4
+	var seeds []frozenSeed
+	for i := 0; i < 100; i++ {
+		vec := make([]float64, dim)
+		for d := range vec {
+			vec[d] = rng.Float64() * 4
+		}
+		seeds = append(seeds, frozenSeed{id: int64(i), cluster: i % 3, p: stream.Point{Vector: vec}})
+	}
+	f := buildFrozen(seeds, 1.0)
+	for q := 0; q < 200; q++ {
+		vec := make([]float64, dim)
+		for d := range vec {
+			vec[d] = rng.Float64() * 4
+		}
+		p := stream.Point{Vector: vec}
+		gotID, gotOK := f.Assign(p)
+		wantID, wantOK := frozenReference(seeds, p, 1.0)
+		if gotOK != wantOK || (gotOK && gotID != wantID) {
+			t.Fatalf("probe %d: Assign = (%d,%v), reference = (%d,%v)", q, gotID, gotOK, wantID, wantOK)
+		}
+	}
+}
+
+// TestFrozenTokenSeeds checks the token-set side: token probes match
+// token seeds under Jaccard and never match numeric seeds.
+func TestFrozenTokenSeeds(t *testing.T) {
+	seeds := []frozenSeed{
+		{id: 0, cluster: 1, p: stream.Point{Tokens: distance.NewTokenSet("a", "b", "c")}},
+		{id: 1, cluster: 2, p: stream.Point{Tokens: distance.NewTokenSet("x", "y", "z")}},
+		{id: 2, cluster: 3, p: stream.Point{Vector: []float64{0, 0}}},
+	}
+	f := buildFrozen(seeds, 0.5)
+	if id, ok := f.Assign(stream.Point{Tokens: distance.NewTokenSet("a", "b", "c", "d")}); !ok || id != 1 {
+		t.Fatalf("token probe = (%d,%v), want (1,true)", id, ok)
+	}
+	if _, ok := f.Assign(stream.Point{Tokens: distance.NewTokenSet("q", "r", "s")}); ok {
+		t.Fatal("unrelated token probe matched")
+	}
+	if id, ok := f.Assign(stream.Point{Vector: []float64{0.1, 0}}); !ok || id != 3 {
+		t.Fatalf("numeric probe = (%d,%v), want (3,true)", id, ok)
+	}
+}
+
+// TestFrozenEmpty checks the degenerate empty index.
+func TestFrozenEmpty(t *testing.T) {
+	f := NewFrozenBuilder(1).Freeze()
+	if _, ok := f.Assign(stream.Point{Vector: []float64{0}}); ok {
+		t.Fatal("empty index assigned a point")
+	}
+	if _, ok := f.Assign(stream.Point{Tokens: distance.NewTokenSet("a")}); ok {
+		t.Fatal("empty index assigned a token point")
+	}
+}
+
+// TestFrozenAssignNoAlloc pins the zero-allocation query contract at
+// the index level for both the gridded and the flat path.
+func TestFrozenAssignNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var seeds []frozenSeed
+	for i := 0; i < 500; i++ {
+		seeds = append(seeds, frozenSeed{
+			id: int64(i), cluster: i % 5,
+			p: stream.Point{Vector: []float64{rng.Float64() * 20, rng.Float64() * 20}},
+		})
+	}
+	f := buildFrozen(seeds, 0.5)
+	probe := stream.Point{Vector: []float64{10, 10}}
+	if allocs := testing.AllocsPerRun(200, func() { f.Assign(probe) }); allocs != 0 {
+		t.Fatalf("grid Assign allocates %.1f per call", allocs)
+	}
+}
