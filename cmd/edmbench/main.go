@@ -6,7 +6,7 @@
 //
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
-//	             ablation, index, throughput, serve, all
+//	             ablation, index, throughput, serve, parallel, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -17,16 +17,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/densitymountain/edmstream/internal/bench"
 )
 
-// throughputJSON and serveJSON are the artifact paths of the
-// throughput and serve experiments (set by the -json / -servejson
-// flags).
+// throughputJSON, serveJSON and parallelJSON are the artifact paths
+// of the throughput, serve and parallel experiments (set by the
+// -json / -servejson / -parjson flags); minSpeedup is the parallel
+// experiment's assertion threshold.
 var (
 	throughputJSON string
 	serveJSON      string
+	parallelJSON   string
+	minSpeedup     float64
 )
 
 func main() {
@@ -37,6 +41,10 @@ func main() {
 		"path of the machine-readable artifact the throughput experiment writes (empty disables it)")
 	flag.StringVar(&serveJSON, "servejson", "BENCH_serve.json",
 		"path of the machine-readable artifact the serve experiment writes (empty disables it)")
+	flag.StringVar(&parallelJSON, "parjson", "BENCH_parallel.json",
+		"path of the machine-readable artifact the parallel experiment writes (empty disables it)")
+	flag.Float64Var(&minSpeedup, "minspeedup", 0,
+		"fail the parallel experiment when the 4-worker speedup falls below this ratio (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -75,6 +83,9 @@ experiments:
   serve     serving layer: incremental vs full snapshot refresh, and
             concurrent Assign queries (1 writer + 4 readers; writes the
             machine-readable BENCH_serve.json artifact)
+  parallel  parallel speculative routing: InsertBatch worker sweep with
+            speculation hit rate (writes the machine-readable
+            BENCH_parallel.json artifact; -minspeedup asserts scaling)
   all       run every experiment
 
 flags:
@@ -223,8 +234,32 @@ func run(id string, s bench.Scale) error {
 			}
 			fmt.Printf("wrote %s\n", serveJSON)
 		}
+	case "parallel":
+		rep, err := bench.RunParallel(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatParallel(rep))
+		if parallelJSON != "" {
+			if err := bench.WriteParallelJSON(parallelJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", parallelJSON)
+		}
+		if minSpeedup > 0 {
+			// The assertion needs real hardware parallelism: with fewer
+			// than 4 CPUs — or GOMAXPROCS capped below 4, which bounds
+			// the pool regardless of the hardware — the 4-worker pool
+			// timeshares cores and the wall-clock ratio measures the
+			// scheduler, not the pipeline.
+			if procs := min(runtime.NumCPU(), runtime.GOMAXPROCS(0)); procs < 4 {
+				fmt.Printf("skipping speedup assertion: %d usable CPUs < 4 workers\n", procs)
+			} else if rep.SpeedupAt4 < minSpeedup {
+				return fmt.Errorf("parallel speedup at 4 workers %.2fx below required %.2fx", rep.SpeedupAt4, minSpeedup)
+			}
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/densitymountain/edmstream/internal/core"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// This file holds the parallel-ingest experiment (not in the paper):
+// it sweeps InsertBatch's route-phase worker count over the bursty
+// 2-D lattice throughput workload and measures batch-ingest
+// points/sec, speculation hit rate and per-point allocations for each
+// count. The single-worker run is the fully serial batch path (the
+// PR 2 pipeline) and is the baseline every other row's speedup is
+// computed against. cmd/edmbench writes the result as a
+// BENCH_parallel.json artifact so the scaling trajectory stays
+// machine-readable across revisions.
+//
+// The wall-clock speedup is bounded by the machine: with GOMAXPROCS=1
+// the worker pool timeshares one core and the sweep can only show the
+// overhead of the speculative pipeline (the GoMaxProcs and NumCPU
+// fields record the environment next to the numbers). The clustering
+// fingerprints of every worker count must agree — the byte-identical
+// equivalence guarantee, property-tested in internal/core — or the
+// experiment errors out.
+
+// ParallelWorkerCounts is the worker-count sweep the experiment runs.
+var ParallelWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelModeResult is the outcome of one worker count's run.
+type ParallelModeResult struct {
+	// Workers is the configured route-phase worker count.
+	Workers int `json:"workers"`
+	// Points is the number of measured insertions (after warm-up).
+	Points int `json:"points"`
+	// WallNanos is the wall-clock time the measured insertions took;
+	// PointsPerSec the resulting throughput and Speedup its ratio to
+	// the single-worker baseline.
+	WallNanos    int64   `json:"wall_nanos"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	Speedup      float64 `json:"speedup"`
+	// SpeculativeRoutes and SpeculationMisses are the route-phase
+	// counters of the measured run (warm-up excluded);
+	// SpeculationHitRate is 1 − misses/routes (1 when nothing was
+	// routed speculatively, i.e. the single-worker baseline). On this
+	// workload the misses are dominated by burst siblings: when a
+	// burst arrives at a site whose cell expired, the first point
+	// creates the cell mid-batch and the rest of the burst — routed
+	// against the pre-batch snapshot — is claimed by it during
+	// validation, a repair that costs one scan of the batch's new
+	// cells and no index probe. Full re-routes (speculated cell
+	// deleted by a mid-batch sweep) are far rarer.
+	SpeculativeRoutes  int64   `json:"speculative_routes"`
+	SpeculationMisses  int64   `json:"speculation_misses"`
+	SpeculationHitRate float64 `json:"speculation_hit_rate"`
+	// AllocsPerPoint and BytesPerPoint are the heap allocation counts
+	// of the measured phase, normalized per point.
+	AllocsPerPoint float64 `json:"allocs_per_point"`
+	BytesPerPoint  float64 `json:"bytes_per_point"`
+	// ActiveCells, Clusters and CellsCreated fingerprint the
+	// clustering output; they must be identical across worker counts.
+	ActiveCells  int   `json:"active_cells"`
+	Clusters     int   `json:"clusters"`
+	CellsCreated int64 `json:"cells_created"`
+}
+
+// ParallelReport is the JSON-serializable outcome of the experiment.
+type ParallelReport struct {
+	// Schema versions the artifact layout for cross-revision tooling.
+	Schema string `json:"schema"`
+	// Points is the measured stream length, Seed the generator seed,
+	// BatchSize the InsertBatch size.
+	Points    int   `json:"points"`
+	Seed      int64 `json:"seed"`
+	BatchSize int   `json:"batch_size"`
+	// GoMaxProcs and NumCPU record the parallelism available where the
+	// artifact was generated; wall-clock speedups are meaningless
+	// without them.
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// Results holds one row per worker count, in sweep order.
+	Results []ParallelModeResult `json:"results"`
+	// SpeedupAt4 is the 4-worker row's speedup over the single-worker
+	// baseline (0 when either row is missing) — the headline number CI
+	// asserts on multi-core runners.
+	SpeedupAt4 float64 `json:"speedup_at_4_workers"`
+}
+
+// RunParallel measures batched ingestion over the bursty lattice
+// stream for every worker count in ParallelWorkerCounts. s.Points is
+// the measured stream length; a fixed warm-up (ten sweeps of the
+// lattice) precedes measurement so every run operates at full cell
+// population. All runs must produce identical clustering fingerprints
+// or an error is returned.
+func RunParallel(s Scale) (ParallelReport, error) {
+	warmup := 10 * indexBenchSites * indexBenchSites
+	pts := ThroughputStream(warmup+s.Points, s.Seed, s.Rate)
+
+	measure := func(workers int) (ParallelModeResult, error) {
+		cfg := ThroughputConfig(s.Rate)
+		cfg.IngestWorkers = workers
+		edm, err := core.New(cfg)
+		if err != nil {
+			return ParallelModeResult{}, fmt.Errorf("bench: building EDMStream: %w", err)
+		}
+		ingest := func(batch []stream.Point, lo, hi int) error {
+			for i := lo; i < hi; i += ThroughputBatchSize {
+				end := i + ThroughputBatchSize
+				if end > hi {
+					end = hi
+				}
+				if err := edm.InsertBatch(batch[i:end]); err != nil {
+					return fmt.Errorf("bench: batch %d:%d: %w", i, end, err)
+				}
+			}
+			return nil
+		}
+		if err := ingest(pts, 0, warmup); err != nil {
+			return ParallelModeResult{}, err
+		}
+		before := edm.Stats()
+		runtime.GC()
+		var memBefore, memAfter runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
+		t0 := time.Now()
+		if err := ingest(pts, warmup, len(pts)); err != nil {
+			return ParallelModeResult{}, err
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&memAfter)
+
+		snap := edm.Snapshot()
+		st := edm.Stats()
+		r := ParallelModeResult{
+			Workers:            workers,
+			Points:             s.Points,
+			WallNanos:          wall.Nanoseconds(),
+			SpeculativeRoutes:  st.SpeculativeRoutes - before.SpeculativeRoutes,
+			SpeculationMisses:  st.SpeculationMisses - before.SpeculationMisses,
+			SpeculationHitRate: 1,
+			ActiveCells:        st.ActiveCells,
+			Clusters:           snap.NumClusters(),
+			CellsCreated:       st.CellsCreated,
+		}
+		if r.SpeculativeRoutes > 0 {
+			r.SpeculationHitRate = 1 - float64(r.SpeculationMisses)/float64(r.SpeculativeRoutes)
+		}
+		if wall > 0 {
+			r.PointsPerSec = float64(s.Points) / wall.Seconds()
+		}
+		if s.Points > 0 {
+			r.AllocsPerPoint = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(s.Points)
+			r.BytesPerPoint = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(s.Points)
+		}
+		return r, nil
+	}
+
+	rep := ParallelReport{
+		Schema:     "edmstream-parallel/v1",
+		Points:     s.Points,
+		Seed:       s.Seed,
+		BatchSize:  ThroughputBatchSize,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	var base ParallelModeResult
+	for _, w := range ParallelWorkerCounts {
+		r, err := measure(w)
+		if err != nil {
+			return ParallelReport{}, err
+		}
+		if w == ParallelWorkerCounts[0] {
+			base = r
+		} else if r.Clusters != base.Clusters || r.CellsCreated != base.CellsCreated ||
+			r.ActiveCells != base.ActiveCells {
+			return ParallelReport{}, fmt.Errorf(
+				"bench: %d-worker ingestion diverged from the single-threaded baseline: {clusters %d cells %d active %d} vs {clusters %d cells %d active %d}",
+				w, r.Clusters, r.CellsCreated, r.ActiveCells,
+				base.Clusters, base.CellsCreated, base.ActiveCells)
+		}
+		if base.PointsPerSec > 0 {
+			r.Speedup = r.PointsPerSec / base.PointsPerSec
+		}
+		if w == 4 {
+			rep.SpeedupAt4 = r.Speedup
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// WriteParallelJSON writes the report to path as indented JSON (the
+// BENCH_parallel.json artifact).
+func WriteParallelJSON(path string, rep ParallelReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding parallel report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing parallel artifact: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestRunParallelSmall smoke-tests the parallel-ingest experiment at a
+// small scale: every worker count must process the full stream,
+// produce the same clustering fingerprints (RunParallel errors
+// otherwise) and report sane metrics, and the multi-worker runs must
+// actually have routed speculatively.
+func TestRunParallelSmall(t *testing.T) {
+	s := SmallScale()
+	rep, err := RunParallel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "edmstream-parallel/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Results) != len(ParallelWorkerCounts) {
+		t.Fatalf("got %d results, want %d", len(rep.Results), len(ParallelWorkerCounts))
+	}
+	if rep.GoMaxProcs <= 0 || rep.NumCPU <= 0 {
+		t.Errorf("environment not recorded: %+v", rep)
+	}
+	for i, r := range rep.Results {
+		if r.Workers != ParallelWorkerCounts[i] {
+			t.Errorf("result %d: workers = %d, want %d", i, r.Workers, ParallelWorkerCounts[i])
+		}
+		if r.PointsPerSec <= 0 {
+			t.Errorf("workers %d: no throughput measured", r.Workers)
+		}
+		if r.ActiveCells == 0 || r.Clusters == 0 {
+			t.Errorf("workers %d: degenerate clustering: %+v", r.Workers, r)
+		}
+		if r.SpeculationHitRate < 0 || r.SpeculationHitRate > 1 {
+			t.Errorf("workers %d: hit rate %v outside [0,1]", r.Workers, r.SpeculationHitRate)
+		}
+		switch {
+		case r.Workers == 1 && r.SpeculativeRoutes != 0:
+			t.Errorf("single-worker run routed %d points speculatively", r.SpeculativeRoutes)
+		case r.Workers > 1 && r.SpeculativeRoutes == 0:
+			t.Errorf("workers %d: route phase never ran", r.Workers)
+		}
+	}
+	if rep.SpeedupAt4 <= 0 {
+		t.Errorf("SpeedupAt4 = %v", rep.SpeedupAt4)
+	}
+}
+
+// TestWriteParallelJSON checks the artifact writer round-trips.
+func TestWriteParallelJSON(t *testing.T) {
+	rep := ParallelReport{Schema: "edmstream-parallel/v1", Points: 1, BatchSize: ThroughputBatchSize,
+		Results: []ParallelModeResult{{Workers: 1, Speedup: 1}}}
+	path := t.TempDir() + "/BENCH_parallel.json"
+	if err := WriteParallelJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+}

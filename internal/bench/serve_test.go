@@ -17,7 +17,7 @@ func TestRunServeSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "edmstream-serve/v1" {
+	if rep.Schema != "edmstream-serve/v2" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	for _, r := range []ServeRefreshResult{rep.Incremental, rep.Full} {
@@ -37,8 +37,16 @@ func TestRunServeSmall(t *testing.T) {
 	if rep.Queries <= 0 || rep.QueriesPerSec <= 0 {
 		t.Errorf("no queries measured: %+v", rep)
 	}
-	if rep.HitRate <= 0 || rep.HitRate > 1 {
-		t.Errorf("hit rate = %v", rep.HitRate)
+	// In-distribution probes are drawn like the workload's cluster
+	// bursts, so on a steady-state engine they should essentially
+	// always land in a cluster; the committed artifact documents the
+	// full-scale value (≥ 0.999). The bound here is looser only
+	// because the smoke scale warms fewer refresh cycles.
+	if rep.HitRate < 0.99 || rep.HitRate > 1 {
+		t.Errorf("in-distribution hit rate = %v, want ≥ 0.99", rep.HitRate)
+	}
+	if rep.NoiseQueries > 0 && (rep.NoiseHitRate < 0 || rep.NoiseHitRate > 1) {
+		t.Errorf("noise hit rate = %v", rep.NoiseHitRate)
 	}
 	if rep.AllocsPerQuery > 0.01 {
 		t.Errorf("Assign allocates %.4f per query, want ~0", rep.AllocsPerQuery)
@@ -50,7 +58,7 @@ func TestRunServeSmall(t *testing.T) {
 
 // TestWriteServeJSON checks the artifact writer round-trips.
 func TestWriteServeJSON(t *testing.T) {
-	rep := ServeReport{Schema: "edmstream-serve/v1", Readers: ServeReaders}
+	rep := ServeReport{Schema: "edmstream-serve/v2", Readers: ServeReaders}
 	path := t.TempDir() + "/BENCH_serve.json"
 	if err := WriteServeJSON(path, rep); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/densitymountain/edmstream/internal/index"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// This file implements the parallel route phase of batched ingestion.
+//
+// InsertBatch is dominated by routing — finding each point's nearest
+// cell seed — while the state update that follows (absorb, band
+// update, DP-Tree relink) is cheap but inherently serial. The pipeline
+// splits the two: a GOMAXPROCS-sized worker pool speculatively routes
+// every point of the batch against an epoch-frozen, read-only view of
+// the seed index (index.View), and the existing serial apply loop then
+// consumes the pre-routed points, validating each speculation against
+// the state it has itself changed since the snapshot was frozen
+// (resolveRouted). The output is byte-identical to per-point
+// ingestion for every worker count — the equivalence property tests
+// assert it — because the validation rule is exact, not heuristic.
+
+// routedPoint is the route phase's speculation for one batch point:
+// the nearest cell against the frozen index view, with its distance,
+// or ok == false when no seed was within the cell radius at route
+// time.
+type routedPoint struct {
+	id   int64
+	dist float64
+	ok   bool
+}
+
+// routeChunk is the unit of work route workers claim from the shared
+// cursor: large enough that cursor contention is negligible, small
+// enough that a straggling worker cannot hold the batch hostage.
+const routeChunk = 64
+
+// minRouteBatch is the smallest batch the parallel route phase
+// accepts; below it the spawn-and-join overhead outweighs the routing
+// work and the serial path wins.
+const minRouteBatch = 2 * routeChunk
+
+// maxRouteFold bounds how many mid-batch cells resolveRouted folds
+// into a speculation per point; past it (a cold or drifting batch
+// creating cells in bulk) validating by live re-probe is cheaper, and
+// keeps the apply phase no worse than serial routing.
+const maxRouteFold = 32
+
+// routeJob is the shared state of one parallel route phase. It lives
+// on the engine and is reused across batches, so a steady-state batch
+// allocates nothing: workers claim chunks through the atomic cursor
+// and write their results into disjoint slots of out.
+type routeJob struct {
+	view   index.View
+	pts    []stream.Point
+	out    []routedPoint
+	radius float64
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// routePool is the engine's persistent route-phase worker pool: it
+// spawns its goroutines once (lazily, at the first batch that routes
+// in parallel) and hands them jobs over an unbuffered channel, so a
+// steady-state batch costs channel rendezvous instead of goroutine
+// spawns — a `go` statement heap-allocates its argument frame, which
+// would put the only steady-state allocation of the whole ingest path
+// right on the hot loop.
+//
+// The workers reference only the pool, never the engine, so an
+// abandoned engine stays collectible; the runtime cleanup registered
+// at pool creation closes quit when the engine becomes unreachable and
+// the parked workers exit.
+type routePool struct {
+	tasks chan *routeJob
+	quit  chan struct{}
+	// scratch[0] belongs to the owner goroutine; scratch[w] to pool
+	// worker w.
+	scratch []index.RouteScratch
+}
+
+func newRoutePool(workers int) *routePool {
+	p := &routePool{
+		tasks:   make(chan *routeJob),
+		quit:    make(chan struct{}),
+		scratch: make([]index.RouteScratch, workers),
+	}
+	for w := 1; w < workers; w++ {
+		go poolWorker(p, w)
+	}
+	return p
+}
+
+// stopRoutePool is the engine's GC cleanup: it releases the pool's
+// parked workers. It must not reference the engine (runtime.AddCleanup
+// contract), only the pool.
+func stopRoutePool(p *routePool) { close(p.quit) }
+
+// poolWorker parks on the task channel and runs each job it receives.
+// One received job corresponds to exactly one WaitGroup count: a fast
+// worker looping back for a second token of the same job just finds
+// the cursor exhausted and signals again.
+func poolWorker(p *routePool, wi int) {
+	for {
+		select {
+		case j := <-p.tasks:
+			routeRun(j, &p.scratch[wi])
+			j.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// routeBatch runs the parallel route phase over pts and returns the
+// speculations, or nil when parallel routing does not apply (fewer
+// than two workers, a batch too small to pay for the join, or no seeds
+// to route against yet) and the caller should ingest serially.
+//
+// The engine's owner goroutine participates as worker zero, so nw
+// workers occupy nw cores with nw−1 pool goroutines. The frozen view
+// is read-only and the owner blocks in Wait until every worker is
+// done, so the live index is never probed and mutated concurrently.
+func (e *EDMStream) routeBatch(pts []stream.Point) []routedPoint {
+	if e.workers < 2 || len(pts) < minRouteBatch || e.seedIdx == nil || e.cells.len() == 0 {
+		return nil
+	}
+	if e.pool == nil {
+		e.pool = newRoutePool(e.workers)
+		runtime.AddCleanup(e, stopRoutePool, e.pool)
+	}
+	nw := e.workers
+	if chunks := (len(pts) + routeChunk - 1) / routeChunk; nw > chunks {
+		nw = chunks
+	}
+	if cap(e.routed) < len(pts) {
+		e.routed = make([]routedPoint, len(pts))
+	}
+	j := &e.job
+	j.view = e.seedIdx.View()
+	j.pts = pts
+	j.out = e.routed[:len(pts)]
+	j.radius = e.cfg.Radius
+	j.cursor.Store(0)
+	j.wg.Add(nw - 1)
+	for w := 1; w < nw; w++ {
+		e.pool.tasks <- j
+	}
+	routeRun(j, &e.pool.scratch[0])
+	j.wg.Wait()
+	out := j.out
+	j.view, j.pts, j.out = nil, nil, nil
+	e.stats.SpeculativeRoutes += int64(len(pts))
+	return out
+}
+
+// routeRun claims chunks of the batch from the shared cursor and
+// routes each point against the frozen view into its result slot.
+func routeRun(j *routeJob, s *index.RouteScratch) {
+	n := int64(len(j.pts))
+	for {
+		lo := j.cursor.Add(routeChunk) - routeChunk
+		if lo >= n {
+			return
+		}
+		hi := lo + routeChunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			id, d, ok := j.view.NearestWithin(j.pts[i], j.radius, s)
+			j.out[i] = routedPoint{id: id, dist: d, ok: ok}
+		}
+	}
+}
+
+// resolveRouted turns the route phase's speculation for p into the
+// authoritative nearest-cell decision, validating it against every
+// state change the apply phase has made since the route snapshot was
+// frozen.
+//
+// The validation rule is exact because routing depends only on the set
+// of live seeds: seeds are immutable for the lifetime of a cell,
+// absorption moves no seed, and activation state and τ play no part in
+// which cell absorbs a point. Only two kinds of mid-batch change can
+// therefore touch a speculation:
+//
+//   - A cell created after the snapshot lies within Radius of p. The
+//     speculation is exact over the pre-snapshot cells, so folding the
+//     new cells in directly — beat the speculated winner only when
+//     strictly closer, since created IDs are larger and distance ties
+//     break toward the lower ID — yields the exact live answer. This
+//     also covers points speculated to be outliers that a new cell
+//     claims.
+//   - The speculated cell itself was deleted by a mid-batch sweep. The
+//     frozen ranking below the deleted winner is unknown, so the point
+//     re-routes against the live index (which also covers any new
+//     cells). Deletions of other cells only remove competitors and
+//     cannot change the winner.
+//
+// Overridden speculations are counted in Stats.SpeculationMisses; the
+// re-route path stamps probe distances exactly as serial ingestion
+// does, while validated speculations skip the stamping — which only
+// disables the optional triangle-inequality skips (Theorem 2) for
+// those points, never changing the clustering output.
+func (e *EDMStream) resolveRouted(p stream.Point, r routedPoint) (*Cell, bool) {
+	var best *Cell
+	var bestD float64
+	if r.ok {
+		if best = e.cells.get(r.id); best == nil {
+			e.stats.SpeculationMisses++
+			c, _, ok := e.nearestSeed(p)
+			return c, ok
+		}
+		bestD = r.dist
+	}
+	if len(e.batchNew) > maxRouteFold {
+		// Folding in this many mid-batch cells costs more per point
+		// than one live probe, so the validation would make the apply
+		// phase slower than serial routing (O(points × new cells) on a
+		// cold or drifting batch). Re-route against the live index —
+		// which contains the new cells — and count a miss only when
+		// the answer actually moved.
+		c, _, ok := e.nearestSeed(p)
+		if ok != (best != nil) || c != best {
+			e.stats.SpeculationMisses++
+		}
+		return c, ok
+	}
+	stolen := false
+	for _, n := range e.batchNew {
+		if e.cells.get(n.id) != n {
+			continue // created and already deleted within this batch
+		}
+		if d := n.seed.Distance(p); d <= e.cfg.Radius && (best == nil || d < bestD) {
+			best, bestD, stolen = n, d, true
+		}
+	}
+	if stolen {
+		e.stats.SpeculationMisses++
+	}
+	return best, best != nil
+}

@@ -18,7 +18,11 @@ import (
 // Metric is a distance function over real vectors. Implementations
 // must be symmetric, non-negative and return zero for identical
 // inputs. Implementations may assume len(a) == len(b); callers are
-// responsible for validating dimensions (see CheckDims).
+// responsible for validating dimensions (see CheckDims). Passing
+// mismatched lengths is a caller bug: every implementation iterates
+// the first vector, so a longer a panics with an index error while a
+// longer b is silently truncated — validate with CheckDims when the
+// lengths are not known to agree.
 type Metric interface {
 	// Distance returns the distance between a and b.
 	Distance(a, b []float64) float64
@@ -89,11 +93,17 @@ func (Manhattan) Name() string { return "manhattan" }
 // Chebyshev is the L∞ metric.
 type Chebyshev struct{}
 
-// Distance returns the L∞ distance between a and b.
+// Distance returns the L∞ distance between a and b. Like the other
+// vector metrics it propagates NaN: a NaN coordinate in either input
+// yields a NaN distance (a plain running-max would silently drop NaN
+// differences, since every comparison against NaN is false).
 func (Chebyshev) Distance(a, b []float64) float64 {
 	var max float64
 	for i := range a {
 		d := math.Abs(a[i] - b[i])
+		if d != d { // NaN
+			return d
+		}
 		if d > max {
 			max = d
 		}

@@ -43,14 +43,101 @@ func TestSquaredEuclidean(t *testing.T) {
 }
 
 func TestManhattan(t *testing.T) {
-	if got := (Manhattan{}).Distance([]float64{1, 2}, []float64{4, -2}); !almostEqual(got, 7) {
-		t.Errorf("Manhattan = %v, want 7", got)
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"basic", []float64{1, 2}, []float64{4, -2}, 7},
+		{"zero-vectors", []float64{0, 0, 0}, []float64{0, 0, 0}, 0},
+		{"zero-vs-point", []float64{0, 0}, []float64{-3, 4}, 7},
+		{"identical", []float64{1.5, -2.5}, []float64{1.5, -2.5}, 0},
+		{"1d", []float64{-2}, []float64{5}, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := (Manhattan{}).Distance(tt.a, tt.b); !almostEqual(got, tt.want) {
+				t.Errorf("Manhattan(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
 	}
 }
 
 func TestChebyshev(t *testing.T) {
-	if got := (Chebyshev{}).Distance([]float64{1, 2, 3}, []float64{4, 0, 3}); !almostEqual(got, 3) {
-		t.Errorf("Chebyshev = %v, want 3", got)
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"basic", []float64{1, 2, 3}, []float64{4, 0, 3}, 3},
+		{"zero-vectors", []float64{0, 0}, []float64{0, 0}, 0},
+		{"zero-vs-point", []float64{0, 0}, []float64{-2, 1}, 2},
+		{"identical", []float64{7, -7}, []float64{7, -7}, 0},
+		{"max-on-last-axis", []float64{0, 0, 0}, []float64{1, 2, 9}, 9},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := (Chebyshev{}).Distance(tt.a, tt.b); !almostEqual(got, tt.want) {
+				t.Errorf("Chebyshev(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestNaNPropagation pins the NaN contract: a NaN coordinate in either
+// input makes every vector metric return NaN rather than a silently
+// finite distance. Chebyshev needs an explicit check for this (a
+// running max drops NaN differences because every comparison against
+// NaN is false); the others propagate through arithmetic.
+func TestNaNPropagation(t *testing.T) {
+	nan := math.NaN()
+	vecs := [][2][]float64{
+		{{nan, 0}, {1, 2}},
+		{{1, 2}, {nan, 0}},
+		{{0, nan}, {1, 1}},
+		{{nan}, {nan}},
+	}
+	// Cosine's zero-vector rule takes precedence by design: a zero
+	// vector is at distance 1 from everything, NaN partner included.
+	if got := (Cosine{}).Distance([]float64{0, nan}, []float64{0, 0}); got != 1 {
+		t.Errorf("Cosine(NaN vector, zero vector) = %v, want 1 (zero-vector rule)", got)
+	}
+	for _, m := range []Metric{Euclidean{}, SquaredEuclidean{}, Manhattan{}, Chebyshev{}, Cosine{}} {
+		for _, v := range vecs {
+			if got := m.Distance(v[0], v[1]); !math.IsNaN(got) {
+				t.Errorf("%s(%v, %v) = %v, want NaN", m.Name(), v[0], v[1], got)
+			}
+		}
+	}
+}
+
+// TestMismatchedLengthContract pins the documented caller contract for
+// unequal-length vectors: every metric iterates its first argument, so
+// a longer a panics (index out of range on b) while a longer b is
+// silently truncated to len(a). CheckDims is the guard callers use
+// when lengths are not known to agree.
+func TestMismatchedLengthContract(t *testing.T) {
+	long := []float64{1, 2, 3}
+	short := []float64{1, 2}
+	for _, m := range []Metric{Euclidean{}, SquaredEuclidean{}, Manhattan{}, Chebyshev{}, Cosine{}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(len 3, len 2) did not panic", m.Name())
+				}
+			}()
+			m.Distance(long, short)
+		}()
+		// The symmetric call truncates: it must equal the distance over
+		// the common prefix and must not panic.
+		got := m.Distance(short, long)
+		want := m.Distance(short, long[:len(short)])
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("%s(len 2, len 3) = %v, want prefix distance %v", m.Name(), got, want)
+		}
+	}
+	if err := CheckDims(long, short); err == nil {
+		t.Error("CheckDims(len 3, len 2): expected error")
 	}
 }
 

@@ -113,6 +113,14 @@ func (f *Frozen) Len() int { return len(f.flat) + len(f.tokens) }
 // among those within the index radius, or ok == false when no seed is
 // that close (the point would be an outlier). Safe for concurrent use
 // from any number of goroutines; never allocates.
+//
+// The probe is exact, not approximate: a seed within radius r of p
+// differs from p by at most r per axis, so with bucket side r its
+// bucket lies within the 3^d window the probe enumerates (and the
+// high-dimensional fallback scans every entry). A miss therefore
+// always means no published seed is within the radius — a genuine
+// outlier or a cell that postdates the snapshot — never a skipped
+// bucket.
 func (f *Frozen) Assign(p stream.Point) (cluster int, ok bool) {
 	if p.Vector == nil {
 		return f.assignTokens(p.Tokens)

@@ -1,0 +1,196 @@
+package index
+
+import (
+	"math"
+	"slices"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// View is an epoch-frozen, read-only nearest-seed view of a SeedIndex.
+// It backs the parallel route phase of batched ingestion: the owner
+// freezes the live index once per batch, a pool of workers probes the
+// view concurrently to speculate each point's nearest cell, and the
+// serial apply phase validates the speculations against whatever the
+// index view could not see.
+//
+// A view shares the live index's storage — freezing copies no buckets
+// and no entries — so it is only valid between mutations: the next
+// Insert or Remove on the underlying index invalidates it, and probing
+// a stale view panics (the epoch is checked on every probe). Within
+// its validity window any number of goroutines may probe the same View
+// concurrently, each with its own RouteScratch; probes return exactly
+// what the live index's NearestWithin would — same candidates, same
+// distances, same lowest-ID tie-break — but measure no onDist
+// callbacks (distance stamping is a write and belongs to the owner).
+type View interface {
+	// NearestWithin answers the radius-bounded nearest-seed probe
+	// against the frozen view, using s as the caller-private scratch.
+	NearestWithin(p stream.Point, r float64, s *RouteScratch) (id int64, d float64, ok bool)
+}
+
+// RouteScratch is the per-goroutine scratch a View probe works in: the
+// quantized bucket coordinates and window-walk cursor, plus a window
+// cache so consecutive probes from the same bucket (bursty streams)
+// reuse the occupied-bucket set instead of re-walking the 3^d window.
+// The cache is keyed on the view's epoch, so it survives across
+// batches as long as the underlying index has not changed, and can
+// never serve stale buckets. A RouteScratch must not be shared between
+// goroutines while a probe is in flight; the zero value is ready to
+// use.
+type RouteScratch struct {
+	center, off, coords []int64
+
+	winEpoch   uint64
+	winM       int64
+	winValid   bool
+	winCenter  []int64
+	winBuckets []*gridBucket
+}
+
+// nearestAcc accumulates the running best of a nearest-seed scan with
+// the lowest-ID tie-break shared by every index implementation. It
+// exists so the view probe can scan buckets from plain loops without
+// allocating a closure per probe.
+type nearestAcc struct {
+	id    int64
+	dist  float64
+	found bool
+}
+
+// scan folds one bucket's entries into the accumulator.
+func (a *nearestAcc) scan(b *gridBucket, vec []float64, r float64) {
+	for i := range b.entries {
+		en := &b.entries[i]
+		d := distance.Euclid(en.vec, vec)
+		if d <= r && (d < a.dist || (d == a.dist && en.id < a.id)) {
+			a.id, a.dist, a.found = en.id, d, true
+		}
+	}
+}
+
+// gridView is the Grid's View: a generation-stamped handle onto the
+// live bucket table. The struct is owned by the grid and reused by
+// every View() call, so freezing allocates nothing.
+type gridView struct {
+	g     *Grid
+	epoch uint64
+}
+
+// View implements SeedIndex. The returned view is valid until the next
+// Insert or Remove on the grid.
+func (g *Grid) View() View {
+	g.view.epoch = g.gen
+	return &g.view
+}
+
+// NearestWithin implements View. It mirrors Grid.NearestWithin — the
+// (2m+1)^d window probe with the direct-scan fallback for sparse or
+// high-dimensional grids — but keeps every piece of mutable probe
+// state (coordinate buffers, window cache) in the caller's
+// RouteScratch, so concurrent probes never touch shared memory. The
+// bucket table itself is only read, which is safe because the epoch
+// check guarantees no mutation has happened since the view was taken.
+func (v *gridView) NearestWithin(p stream.Point, r float64, s *RouteScratch) (int64, float64, bool) {
+	g := v.g
+	if g.gen != v.epoch {
+		panic("index: grid view probed after the underlying index changed")
+	}
+	if p.Vector == nil {
+		// The vectorless side set is a plain map read; scanVectorless
+		// uses no scratch, so concurrent view probes may share it.
+		return g.scanVectorless(p, r, nil)
+	}
+	if g.nbuckets == 0 {
+		return 0, 0, false
+	}
+	center := s.center[:0]
+	for _, x := range p.Vector {
+		center = append(center, int64(math.Floor(x/g.side)))
+	}
+	s.center = center
+	d := len(center)
+	acc := nearestAcc{dist: math.Inf(1)}
+
+	m := int64(math.Ceil(r / g.side))
+	if windowExceeds(2*m+1, d, g.nbuckets) {
+		for _, b := range g.buckets {
+			for ; b != nil; b = b.next {
+				if chebyshev(b.coords, center) <= m {
+					acc.scan(b, p.Vector, r)
+				}
+			}
+		}
+	} else {
+		if !(s.winValid && s.winEpoch == v.epoch && s.winM == m && slices.Equal(s.winCenter, center)) {
+			v.collectWindow(center, m, s)
+		}
+		for _, b := range s.winBuckets {
+			acc.scan(b, p.Vector, r)
+		}
+	}
+	if !acc.found {
+		return 0, 0, false
+	}
+	return acc.id, acc.dist, true
+}
+
+// collectWindow walks the (2m+1)^d window around center with an
+// odometer over the scratch buffers and caches the occupied buckets in
+// the scratch, keyed on the view epoch.
+func (v *gridView) collectWindow(center []int64, m int64, s *RouteScratch) {
+	g := v.g
+	d := len(center)
+	off := resizeScratch(s.off, d)
+	coords := resizeScratch(s.coords, d)
+	s.off, s.coords = off, coords
+	s.winBuckets = s.winBuckets[:0]
+	for i := range off {
+		off[i] = -m
+	}
+	for {
+		for i := range coords {
+			coords[i] = center[i] + off[i]
+		}
+		if b, ok := g.lookup(coords); ok {
+			s.winBuckets = append(s.winBuckets, b)
+		}
+		i := 0
+		for ; i < d; i++ {
+			off[i]++
+			if off[i] <= m {
+				break
+			}
+			off[i] = -m
+		}
+		if i == d {
+			break
+		}
+	}
+	s.winCenter = append(s.winCenter[:0], center...)
+	s.winM, s.winEpoch, s.winValid = m, v.epoch, true
+}
+
+// linearView is the Linear index's View. The linear scan keeps no
+// probe state at all, so the view is the live NearestWithin minus the
+// onDist callback, behind the same epoch guard.
+type linearView struct {
+	l     *Linear
+	epoch uint64
+}
+
+// View implements SeedIndex. The returned view is valid until the next
+// Insert or Remove on the index.
+func (l *Linear) View() View {
+	l.view.epoch = l.gen
+	return &l.view
+}
+
+// NearestWithin implements View.
+func (v *linearView) NearestWithin(p stream.Point, r float64, _ *RouteScratch) (int64, float64, bool) {
+	if v.l.gen != v.epoch {
+		panic("index: linear view probed after the underlying index changed")
+	}
+	return v.l.NearestWithin(p, r, nil)
+}

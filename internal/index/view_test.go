@@ -1,0 +1,197 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// viewIndexes builds one Grid and one Linear index over the same
+// random seed set.
+func viewIndexes(t *testing.T, rng *rand.Rand, n, dim int, side float64) (*Grid, *Linear, []stream.Point) {
+	t.Helper()
+	g := NewGrid(side)
+	l := NewLinear()
+	seeds := make([]stream.Point, n)
+	for i := range seeds {
+		vec := make([]float64, dim)
+		for d := range vec {
+			vec[d] = rng.Float64()*20 - 10
+		}
+		seeds[i] = stream.Point{ID: int64(i), Vector: vec}
+		g.Insert(int64(i), seeds[i])
+		l.Insert(int64(i), seeds[i])
+	}
+	return g, l, seeds
+}
+
+// TestViewMatchesLive is the frozen-view exactness property: for both
+// index kinds, across dimensionalities (including ones that push the
+// grid onto its direct-scan fallback) and across interleaved
+// mutations, a view probe must return exactly what the live
+// NearestWithin returns — same ID, same distance, same tie-break —
+// with the caller-private scratch (and its window cache) never going
+// stale.
+func TestViewMatchesLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dim := range []int{1, 2, 3, 9} {
+		g, l, _ := viewIndexes(t, rng, 300, dim, 1.0)
+		var scratch RouteScratch
+		for round := 0; round < 6; round++ {
+			gv, lv := g.View(), l.View()
+			for q := 0; q < 200; q++ {
+				vec := make([]float64, dim)
+				for d := range vec {
+					vec[d] = rng.Float64()*24 - 12
+				}
+				p := stream.Point{Vector: vec}
+				r := 0.5 + rng.Float64()*2
+				for _, idx := range []struct {
+					name string
+					live SeedIndex
+					view View
+				}{{"grid", g, gv}, {"linear", l, lv}} {
+					liveID, liveD, liveOK := idx.live.NearestWithin(p, r, nil)
+					viewID, viewD, viewOK := idx.view.NearestWithin(p, r, &scratch)
+					if liveID != viewID || liveD != viewD || liveOK != viewOK {
+						t.Fatalf("dim %d round %d %s: view (%d, %v, %v) != live (%d, %v, %v)",
+							dim, round, idx.name, viewID, viewD, viewOK, liveID, liveD, liveOK)
+					}
+				}
+			}
+			// Mutate between rounds: remove a few seeds and add a few
+			// new ones, so the next round's fresh views (and the reused
+			// scratch's epoch-keyed window cache) see a changed index.
+			for m := 0; m < 5; m++ {
+				id := int64(rng.Intn(300))
+				if _, ok := l.pos[id]; ok {
+					p := l.entries[l.pos[id]].pt
+					g.Remove(id, p)
+					l.Remove(id, p)
+				}
+				vec := make([]float64, dim)
+				for d := range vec {
+					vec[d] = rng.Float64()*20 - 10
+				}
+				nid := int64(1000 + round*10 + m)
+				np := stream.Point{ID: nid, Vector: vec}
+				g.Insert(nid, np)
+				l.Insert(nid, np)
+			}
+		}
+	}
+}
+
+// TestViewTokenProbes checks that view probes answer token-set
+// queries (the vectorless side set) exactly like the live index.
+func TestViewTokenProbes(t *testing.T) {
+	g := NewGrid(0.6)
+	l := NewLinear()
+	tok := func(words ...string) stream.Point {
+		return stream.Point{Tokens: distance.NewTokenSet(words...)}
+	}
+	sets := []stream.Point{
+		tok("a", "b", "c"),
+		tok("a", "b", "d"),
+		tok("x", "y"),
+	}
+	for i, p := range sets {
+		g.Insert(int64(i), p)
+		l.Insert(int64(i), p)
+	}
+	var scratch RouteScratch
+	gv, lv := g.View(), l.View()
+	probes := []stream.Point{tok("a", "b", "c"), tok("a", "b"), tok("z"), {Vector: []float64{0, 0}}}
+	for _, p := range probes {
+		for _, idx := range []struct {
+			live SeedIndex
+			view View
+		}{{g, gv}, {l, lv}} {
+			liveID, liveD, liveOK := idx.live.NearestWithin(p, 0.6, nil)
+			viewID, viewD, viewOK := idx.view.NearestWithin(p, 0.6, &scratch)
+			if liveID != viewID || liveD != viewD || liveOK != viewOK {
+				t.Fatalf("%s token probe: view (%d, %v, %v) != live (%d, %v, %v)",
+					idx.live.Kind(), viewID, viewD, viewOK, liveID, liveD, liveOK)
+			}
+		}
+	}
+}
+
+// TestViewStalePanics pins the epoch guard: probing a view after the
+// underlying index changed must panic rather than silently return
+// answers computed over mutated storage.
+func TestViewStalePanics(t *testing.T) {
+	for _, kind := range []string{"grid", "linear"} {
+		var idx SeedIndex
+		if kind == "grid" {
+			idx = NewGrid(1.0)
+		} else {
+			idx = NewLinear()
+		}
+		idx.Insert(1, stream.Point{ID: 1, Vector: []float64{0, 0}})
+		v := idx.View()
+		idx.Insert(2, stream.Point{ID: 2, Vector: []float64{3, 3}})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: stale view probe did not panic", kind)
+				}
+			}()
+			var s RouteScratch
+			v.NearestWithin(stream.Point{Vector: []float64{0, 0}}, 1.0, &s)
+		}()
+	}
+}
+
+// TestViewConcurrentProbes exercises the concurrent-read contract
+// under the race detector: many goroutines probe one frozen view, each
+// with its own scratch, and every answer must match the live index.
+func TestViewConcurrentProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, l, _ := viewIndexes(t, rng, 500, 2, 1.0)
+
+	type probe struct {
+		p stream.Point
+		r float64
+	}
+	probes := make([]probe, 512)
+	for i := range probes {
+		probes[i] = probe{
+			p: stream.Point{Vector: []float64{rng.Float64()*24 - 12, rng.Float64()*24 - 12}},
+			r: 0.5 + rng.Float64()*1.5,
+		}
+	}
+	for _, idx := range []SeedIndex{g, l} {
+		want := make([][3]any, len(probes))
+		for i, pr := range probes {
+			id, d, ok := idx.NearestWithin(pr.p, pr.r, nil)
+			want[i] = [3]any{id, d, ok}
+		}
+		v := idx.View()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var s RouteScratch
+				for rep := 0; rep < 4; rep++ {
+					for i := (w * 64) % len(probes); ; i = (i + 1) % len(probes) {
+						pr := probes[i]
+						id, d, ok := v.NearestWithin(pr.p, pr.r, &s)
+						if got := ([3]any{id, d, ok}); got != want[i] {
+							t.Errorf("%s concurrent probe %d: got %v want %v", idx.Kind(), i, got, want[i])
+							return
+						}
+						if i == (w*64+len(probes)-1)%len(probes) {
+							break
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
