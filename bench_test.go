@@ -1,5 +1,3 @@
-package edmstream
-
 // This file holds one testing.B benchmark per table and figure of the
 // paper's evaluation section (Sec. 6). Each benchmark drives the same
 // runner that cmd/edmbench uses (internal/bench) at a reduced scale so
@@ -12,11 +10,18 @@ package edmstream
 //	cmm              mean CMM cluster quality
 //
 // EXPERIMENTS.md records the paper-vs-measured comparison for each ID.
+//
+// The file lives in the external test package: internal/bench now
+// imports the root package (its e2e experiment drives the public API
+// through the network layer), so an in-package test importing
+// internal/bench would be an import cycle.
+package edmstream_test
 
 import (
 	"fmt"
 	"testing"
 
+	"github.com/densitymountain/edmstream"
 	"github.com/densitymountain/edmstream/internal/bench"
 	"github.com/densitymountain/edmstream/internal/gen"
 )
@@ -306,13 +311,13 @@ func benchmarkIngestMode(b *testing.B, batchSize, workers int) {
 	const rate = 1000.0
 	warmup := 16000
 	pts := bench.ThroughputStream(warmup+200000, 1, rate)
-	opts := Options{
-		Radius: 1.0, Rate: rate, Decay: Decay{A: 0.99995, Lambda: rate},
+	opts := edmstream.Options{
+		Radius: 1.0, Rate: rate, Decay: edmstream.Decay{A: 0.99995, Lambda: rate},
 		Beta: 1e-4, Tau: 6.0, InitPoints: 500,
-		IndexPolicy: IndexGrid, EvolutionInterval: -1,
+		IndexPolicy: edmstream.IndexGrid, EvolutionInterval: -1,
 		IngestWorkers: workers,
 	}
-	c, err := New(opts)
+	c, err := edmstream.New(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -323,7 +328,7 @@ func benchmarkIngestMode(b *testing.B, batchSize, workers int) {
 	}
 	measured := pts[warmup:]
 	nextTime := measured[len(measured)-1].Time
-	batch := make([]Point, 0, batchSize)
+	batch := make([]edmstream.Point, 0, batchSize)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -393,7 +398,7 @@ func BenchmarkInsert(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	points := make([]Point, 0, ds.Len())
+	points := make([]edmstream.Point, 0, ds.Len())
 	for {
 		p, ok := src.Next()
 		if !ok {

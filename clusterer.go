@@ -44,6 +44,18 @@ func (c *Clusterer) Insert(p Point) error { return c.core.Insert(p) }
 // point is invalid the whole batch is rejected with no state change.
 func (c *Clusterer) InsertBatch(pts []Point) error { return c.core.InsertBatch(pts) }
 
+// InsertBatchAssigned consumes a batch exactly like InsertBatch and
+// additionally reports, per point, the ID of the cluster-cell that
+// absorbed it (the new cell's ID when the point seeded one). dst is
+// overwritten (reusing its backing; pass nil to allocate) and
+// returned. The IDs name cells at absorption time — a later sweep may
+// delete an acked cell — and are cell IDs, not cluster IDs. The
+// serving daemon (cmd/edmserved) uses this call to hand each coalesced
+// ingest request its per-point acks.
+func (c *Clusterer) InsertBatchAssigned(pts []Point, dst []int64) ([]int64, error) {
+	return c.core.InsertBatchAssigned(pts, dst)
+}
+
 // Snapshot refreshes and returns the current clustering: the clusters
 // (maximal strongly dependent subtrees of the DP-Tree), the τ used to
 // separate them, and cell counts. The result is an independent deep
@@ -85,6 +97,23 @@ const AssignOutlier = core.AssignOutlier
 // split, merge and adjust activity detected so far, in time order.
 // Safe to call from any goroutine concurrently with ingestion.
 func (c *Clusterer) Events() []Event { return c.core.Events() }
+
+// EventsSince returns the evolution events with sequence number >=
+// cursor together with the next cursor, supporting resumable
+// consumption of the log (the serving daemon's GET /v1/events).
+// Sequence numbers start at 0 and follow log order.
+//
+// The cursor contract: a cursor at or past the end returns an empty
+// slice (never an error) with the current end cursor; passing the
+// returned cursor back yields exactly the events recorded in between;
+// the returned cursor only advances when new events are recorded —
+// an intervening clustering refresh that detects no activity leaves
+// it unchanged. When Options.MaxEvents trims the log, a cursor
+// pointing into the trimmed prefix resumes at the oldest retained
+// event. Safe to call from any goroutine concurrently with ingestion.
+func (c *Clusterer) EventsSince(cursor uint64) ([]Event, uint64) {
+	return c.core.EventsSince(cursor)
+}
 
 // DecisionGraph returns the current decision graph: each active
 // cluster-cell's (density, dependent distance) pair. Plotting δ against

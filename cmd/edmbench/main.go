@@ -6,7 +6,7 @@
 //
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
-//	             ablation, index, throughput, serve, parallel, all
+//	             ablation, index, throughput, serve, parallel, e2e, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -30,6 +30,7 @@ var (
 	throughputJSON string
 	serveJSON      string
 	parallelJSON   string
+	e2eJSON        string
 	minSpeedup     float64
 )
 
@@ -43,6 +44,8 @@ func main() {
 		"path of the machine-readable artifact the serve experiment writes (empty disables it)")
 	flag.StringVar(&parallelJSON, "parjson", "BENCH_parallel.json",
 		"path of the machine-readable artifact the parallel experiment writes (empty disables it)")
+	flag.StringVar(&e2eJSON, "e2ejson", "BENCH_e2e.json",
+		"path of the machine-readable artifact the e2e experiment writes (empty disables it)")
 	flag.Float64Var(&minSpeedup, "minspeedup", 0,
 		"fail the parallel experiment when the 4-worker speedup falls below this ratio (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Usage = usage
@@ -86,6 +89,11 @@ experiments:
   parallel  parallel speculative routing: InsertBatch worker sweep with
             speculation hit rate (writes the machine-readable
             BENCH_parallel.json artifact; -minspeedup asserts scaling)
+  e2e       end-to-end serving: boots edmserved on loopback and drives
+            it with concurrent HTTP writers + readers; reports ingest
+            points/sec, assign qps, per-endpoint latency quantiles and
+            the coalescer batch-size distribution (writes the
+            machine-readable BENCH_e2e.json artifact)
   all       run every experiment
 
 flags:
@@ -258,8 +266,20 @@ func run(id string, s bench.Scale) error {
 				return fmt.Errorf("parallel speedup at 4 workers %.2fx below required %.2fx", rep.SpeedupAt4, minSpeedup)
 			}
 		}
+	case "e2e":
+		rep, err := bench.RunE2E(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatE2E(rep))
+		if e2eJSON != "" {
+			if err := bench.WriteE2EJSON(e2eJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", e2eJSON)
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

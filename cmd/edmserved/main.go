@@ -1,0 +1,145 @@
+// Command edmserved serves an EDMStream clusterer over HTTP/JSON: the
+// network face of this repository. It ingests batched point streams
+// through a request coalescer, classifies points against the
+// published clustering, streams cluster-evolution events to consumers
+// through cursor-based long-polling, and exports operational
+// telemetry in Prometheus format.
+//
+//	edmserved -radius 0.5 -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/ingest            batched ingest (JSON array or NDJSON body)
+//	POST /v1/assign            classify points against the published snapshot
+//	GET  /v1/snapshot          the published clustering (summaries)
+//	GET  /v1/clusters/{id}     one cluster with member cells and seeds
+//	GET  /v1/events            evolution events; ?cursor=N&wait=30s long-polls
+//	GET  /v1/stats             engine counters + coalescer telemetry
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /metrics              Prometheus text format
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
+// accepting, in-flight requests finish, parked long-polls return, and
+// every acknowledged ingest request is committed before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/densitymountain/edmstream"
+	"github.com/densitymountain/edmstream/internal/server"
+)
+
+// cliConfig carries every flag value; kept as a struct so the
+// flag-to-options mapping is testable without running main.
+type cliConfig struct {
+	addr            string
+	radius          float64
+	rate            float64
+	beta            float64
+	tau             float64
+	adaptiveTau     bool
+	initPoints      int
+	ingestWorkers   int
+	maxEvents       int
+	coalesceWindow  time.Duration
+	maxBatch        int
+	maxPending      int
+	longPollTimeout time.Duration
+	maxBodyBytes    int64
+	shutdownGrace   time.Duration
+}
+
+func registerFlags(fs *flag.FlagSet, c *cliConfig) {
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8080", "TCP listen address")
+	fs.Float64Var(&c.radius, "radius", 0, "cluster-cell radius r (required; see edmstream.SuggestRadius)")
+	fs.Float64Var(&c.rate, "rate", 1000, "expected arrival rate in points per second")
+	fs.Float64Var(&c.beta, "beta", 0, "active-cell density threshold fraction (0 = library default)")
+	fs.Float64Var(&c.tau, "tau", 0, "static cluster-separation threshold (0 = choose from the decision graph)")
+	fs.BoolVar(&c.adaptiveTau, "adaptive-tau", false, "re-tune tau as the stream evolves")
+	fs.IntVar(&c.initPoints, "init-points", 0, "points buffered before the DP-Tree initializes (0 = library default)")
+	fs.IntVar(&c.ingestWorkers, "ingest-workers", 0, "parallel route-phase workers per batch (0 = GOMAXPROCS)")
+	fs.IntVar(&c.maxEvents, "max-events", 0, "evolution log cap (0 = unlimited; cursors stay stable across trimming)")
+	fs.DurationVar(&c.coalesceWindow, "coalesce-window", 2*time.Millisecond, "how long the ingest coalescer holds a batch open for more requests")
+	fs.IntVar(&c.maxBatch, "max-batch", 0, "max points per coalesced batch (0 = default 4096)")
+	fs.IntVar(&c.maxPending, "max-pending", 0, "max queued ingest requests before backpressure (0 = default 1024)")
+	fs.DurationVar(&c.longPollTimeout, "longpoll-timeout", 30*time.Second, "max /v1/events long-poll hold time")
+	fs.Int64Var(&c.maxBodyBytes, "max-body", 0, "max request body bytes (0 = default 8 MiB)")
+	fs.DurationVar(&c.shutdownGrace, "shutdown-grace", 15*time.Second, "max wait for in-flight requests at shutdown")
+}
+
+// buildOptions maps the flags to library options. Validation happens
+// in edmstream.New / server.New so their error messages stay the
+// single source of truth.
+func buildOptions(c cliConfig) edmstream.Options {
+	return edmstream.Options{
+		Radius:        c.radius,
+		Rate:          c.rate,
+		Beta:          c.beta,
+		Tau:           c.tau,
+		AdaptiveTau:   c.adaptiveTau,
+		InitPoints:    c.initPoints,
+		IngestWorkers: c.ingestWorkers,
+		MaxEvents:     c.maxEvents,
+	}
+}
+
+func buildServerConfig(c cliConfig) server.Config {
+	return server.Config{
+		Addr:            c.addr,
+		CoalesceWindow:  c.coalesceWindow,
+		MaxBatch:        c.maxBatch,
+		MaxPending:      c.maxPending,
+		LongPollTimeout: c.longPollTimeout,
+		MaxBodyBytes:    c.maxBodyBytes,
+	}
+}
+
+func main() {
+	var cfg cliConfig
+	registerFlags(flag.CommandLine, &cfg)
+	flag.Parse()
+
+	if cfg.radius <= 0 {
+		fmt.Fprintln(os.Stderr, "edmserved: -radius is required and must be positive")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := edmstream.New(buildOptions(cfg))
+	if err != nil {
+		log.Fatalf("edmserved: %v", err)
+	}
+	s, err := server.New(c, buildServerConfig(cfg))
+	if err != nil {
+		log.Fatalf("edmserved: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		log.Fatalf("edmserved: %v", err)
+	}
+	log.Printf("edmserved: serving on %s (radius %g, rate %g pt/s, coalesce window %v)",
+		s.Addr(), cfg.radius, cfg.rate, cfg.coalesceWindow)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+
+	log.Printf("edmserved: shutting down (grace %v)", cfg.shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+	defer cancel()
+	if err := s.Shutdown(shutdownCtx); err != nil {
+		log.Printf("edmserved: shutdown: %v", err)
+	}
+	if err := s.Err(); err != nil {
+		log.Fatalf("edmserved: serve error: %v", err)
+	}
+	log.Printf("edmserved: drained and stopped")
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// TestFlagMapping pins the flag → Options / server.Config mapping:
+// every knob lands in the right field and the resulting configs pass
+// their own validation.
+func TestFlagMapping(t *testing.T) {
+	fs := flag.NewFlagSet("edmserved", flag.ContinueOnError)
+	var cfg cliConfig
+	registerFlags(fs, &cfg)
+	err := fs.Parse([]string{
+		"-addr", "127.0.0.1:9901",
+		"-radius", "0.75",
+		"-rate", "2000",
+		"-tau", "1.5",
+		"-adaptive-tau",
+		"-init-points", "250",
+		"-ingest-workers", "3",
+		"-max-events", "10000",
+		"-coalesce-window", "4ms",
+		"-max-batch", "2048",
+		"-max-pending", "64",
+		"-longpoll-timeout", "12s",
+		"-max-body", "1048576",
+		"-shutdown-grace", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := buildOptions(cfg)
+	if opts.Radius != 0.75 || opts.Rate != 2000 || opts.Tau != 1.5 ||
+		!opts.AdaptiveTau || opts.InitPoints != 250 || opts.IngestWorkers != 3 ||
+		opts.MaxEvents != 10000 {
+		t.Errorf("options mapping wrong: %+v", opts)
+	}
+	if err := opts.Validate(); err != nil {
+		t.Errorf("mapped options invalid: %v", err)
+	}
+
+	sc := buildServerConfig(cfg)
+	if sc.Addr != "127.0.0.1:9901" || sc.CoalesceWindow != 4*time.Millisecond ||
+		sc.MaxBatch != 2048 || sc.MaxPending != 64 ||
+		sc.LongPollTimeout != 12*time.Second || sc.MaxBodyBytes != 1<<20 {
+		t.Errorf("server config mapping wrong: %+v", sc)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("mapped server config invalid: %v", err)
+	}
+	if cfg.shutdownGrace != 3*time.Second {
+		t.Errorf("shutdown grace = %v, want 3s", cfg.shutdownGrace)
+	}
+}
+
+// TestFlagDefaults: the zero-flag parse produces the documented
+// defaults (and an invalid radius, which main rejects explicitly).
+func TestFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("edmserved", flag.ContinueOnError)
+	var cfg cliConfig
+	registerFlags(fs, &cfg)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:8080" || cfg.rate != 1000 ||
+		cfg.coalesceWindow != 2*time.Millisecond ||
+		cfg.longPollTimeout != 30*time.Second ||
+		cfg.shutdownGrace != 15*time.Second {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.radius != 0 {
+		t.Errorf("radius default = %g, want 0 (required flag)", cfg.radius)
+	}
+	if err := buildServerConfig(cfg).Validate(); err != nil {
+		t.Errorf("default server config invalid: %v", err)
+	}
+}

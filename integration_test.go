@@ -1,15 +1,19 @@
-package edmstream
-
 // Cross-algorithm integration tests: they exercise the public API
 // together with the internal batch algorithms to check that the
 // streaming clustering agrees with its batch ancestor on stationary
 // data, and that every stream algorithm in the repository produces a
 // label-consistent clustering on an easy workload.
+//
+// External test package: internal/bench imports the root package (the
+// e2e network experiment), so importing it from an in-package test
+// would be a cycle.
+package edmstream_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"github.com/densitymountain/edmstream"
 	"github.com/densitymountain/edmstream/internal/bench"
 	"github.com/densitymountain/edmstream/internal/dpclust"
 	"github.com/densitymountain/edmstream/internal/gen"
@@ -46,7 +50,7 @@ func TestStreamingMatchesBatchDPOnStationaryData(t *testing.T) {
 	pts := stationaryBlobs(k, 6000, 5)
 
 	// Streaming clustering.
-	c, err := New(Options{Radius: 1.0, Tau: 4, Rate: 1000, InitPoints: 300})
+	c, err := edmstream.New(edmstream.Options{Radius: 1.0, Tau: 4, Rate: 1000, InitPoints: 300})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -100,6 +100,12 @@ type EDMStream struct {
 	batchNew    []*Cell
 	batchNewBuf []*Cell
 
+	// acks, while non-nil, collects the ID of the cluster-cell that
+	// absorbed (or was seeded by) each ingested point, in point order.
+	// Set only for the duration of an InsertBatchAssigned call; the
+	// plain Insert/InsertBatch paths leave it nil and pay nothing.
+	acks *[]int64
+
 	// Scratch buffers reused across calls so steady-state ingestion
 	// does not allocate: one backs single-point Inserts, demote/repair
 	// back the sweep, ordered backs sortedCells, deltas backs the
@@ -285,7 +291,7 @@ func (e *EDMStream) publishStats() {
 	s := e.stats
 	s.ActiveCells = e.tree.size()
 	s.InactiveCells = e.res.size()
-	s.EvolutionEvents = int64(len(e.tracker.log()))
+	s.EvolutionEvents = int64(e.tracker.total())
 	o := &e.statsShadow
 	m := &e.mirror
 	if s.Points != o.Points {
@@ -402,6 +408,36 @@ func (e *EDMStream) InsertBatch(pts []stream.Point) error {
 	return nil
 }
 
+// InsertBatchAssigned consumes a batch exactly like InsertBatch —
+// identical validation, routing, clustering output — and additionally
+// records, per point, the ID of the cluster-cell that absorbed it (the
+// new cell's ID when the point seeded one). dst is overwritten,
+// reusing its backing array, and returned; pass nil to allocate. On
+// error (any invalid point rejects the whole batch with no state
+// change) the returned slice is dst truncated to zero length.
+//
+// The recorded IDs name the cells at absorption time: a maintenance
+// sweep later in the same batch may deactivate or delete an acked
+// cell, and cell IDs are not cluster IDs (use Assign against a
+// published snapshot for cluster membership). The serving daemon uses
+// this call to hand each coalesced ingest request its per-point acks.
+func (e *EDMStream) InsertBatchAssigned(pts []stream.Point, dst []int64) ([]int64, error) {
+	dst = dst[:0]
+	for i := range pts {
+		if err := pts[i].Validate(); err != nil {
+			return dst, fmt.Errorf("core: batch point %d rejected: %w", i, err)
+		}
+	}
+	if cap(dst) < len(pts) {
+		dst = make([]int64, 0, len(pts))
+	}
+	e.acks = &dst
+	e.ingest(pts, e.routeBatch(pts))
+	e.acks = nil
+	e.publishStats()
+	return dst, nil
+}
+
 // absorbRun tracks a run of consecutive points absorbed by the same
 // active cell. The run's dependency maintenance is deferred to
 // flushRun: because all densities decay at the same rate, the density
@@ -486,6 +522,7 @@ func (e *EDMStream) ingest(pts []stream.Point, routed []routedPoint) {
 			if e.initialized {
 				e.maybePromote(c, now)
 			}
+			cell = c
 		case cell == run.cell:
 			// Same active cell as the open run: fold the point in and
 			// leave the dependency maintenance to the flush.
@@ -506,6 +543,12 @@ func (e *EDMStream) ingest(pts []stream.Point, routed []routedPoint) {
 			if e.initialized {
 				e.maybePromote(cell, now)
 			}
+		}
+		if e.acks != nil {
+			// Ack the cell the point landed in: the absorbing cell, or
+			// the cell the point just seeded. The ID names the cell at
+			// absorption time; a later sweep may delete it.
+			*e.acks = append(*e.acks, cell.id)
 		}
 
 		if !e.initialized {
@@ -1088,6 +1131,27 @@ func (e *EDMStream) Clusters(now float64) []stream.MacroCluster {
 // to call from any goroutine concurrently with ingestion.
 func (e *EDMStream) Events() []Event {
 	return e.tracker.logView()
+}
+
+// EventsSince returns the evolution events with sequence number >=
+// cursor together with the next cursor, supporting resumable,
+// incremental consumption of the log. Sequence numbers start at 0 and
+// are assigned in log order; the returned cursor is the sequence
+// number one past the last event recorded so far, so passing it back
+// yields exactly the events recorded in between — and it only advances
+// when new events are recorded, never from an intervening refresh that
+// detected no activity.
+//
+// A cursor at or past the end returns an empty slice (never an error)
+// with the current end cursor: EventsSince(0) on a fresh engine is
+// (nil, 0). When Config.MaxEvents trims the log, a cursor pointing
+// into the trimmed prefix resumes at the oldest retained event — the
+// skipped events are unrecoverable, exactly as with Events.
+//
+// Like Events it is safe to call from any goroutine concurrently with
+// ingestion.
+func (e *EDMStream) EventsSince(cursor uint64) ([]Event, uint64) {
+	return e.tracker.eventsSince(cursor)
 }
 
 // SetFullExtraction switches the engine to the from-scratch cluster

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// TestEventsSinceTrackerSemantics pins the cursor contract at the
+// tracker level: cursor 0 returns the full log, a cursor at or past
+// the end returns empty (not an error) with the current end cursor,
+// and trimmed prefixes resume at the oldest retained event.
+func TestEventsSinceTrackerSemantics(t *testing.T) {
+	tr := newEvolutionTracker(0)
+	if evs, next := tr.eventsSince(0); len(evs) != 0 || next != 0 {
+		t.Fatalf("fresh tracker: eventsSince(0) = %v, %d; want empty, 0", evs, next)
+	}
+	if evs, next := tr.eventsSince(99); len(evs) != 0 || next != 0 {
+		t.Fatalf("fresh tracker: eventsSince(99) = %v, %d; want empty, 0", evs, next)
+	}
+
+	tr.observe(1, obs(cellSet(1, 2)))             // emerge
+	tr.observe(2, obs(cellSet(1, 2), cellSet(5))) // emerge
+	tr.observe(3, obs(cellSet(1, 2)))             // disappear
+	total := uint64(len(tr.log()))
+	if total < 3 {
+		t.Fatalf("expected at least 3 events, got %v", tr.log())
+	}
+
+	// Cursor 0 returns the full log.
+	evs, next := tr.eventsSince(0)
+	if !reflect.DeepEqual(evs, tr.log()) {
+		t.Errorf("eventsSince(0) = %v, want full log %v", evs, tr.log())
+	}
+	if next != total {
+		t.Errorf("eventsSince(0) next cursor = %d, want %d", next, total)
+	}
+
+	// A mid-log cursor returns exactly the suffix.
+	evs, next = tr.eventsSince(1)
+	if !reflect.DeepEqual(evs, tr.log()[1:]) {
+		t.Errorf("eventsSince(1) = %v, want %v", evs, tr.log()[1:])
+	}
+	if next != total {
+		t.Errorf("eventsSince(1) next cursor = %d, want %d", next, total)
+	}
+
+	// Cursor at the end: empty, same cursor. Past the end: same.
+	for _, cur := range []uint64{total, total + 1, total + 1000} {
+		evs, next = tr.eventsSince(cur)
+		if len(evs) != 0 || next != total {
+			t.Errorf("eventsSince(%d) = %v, %d; want empty, %d", cur, evs, next, total)
+		}
+	}
+
+	// An observation that detects nothing leaves the cursor unchanged.
+	tr.observe(4, obs(cellSet(1, 2)))
+	if _, next = tr.eventsSince(total); next != total {
+		t.Errorf("no-event observe moved the cursor: %d -> %d", total, next)
+	}
+
+	// The returned slice is a copy: mutating it must not corrupt the log.
+	evs, _ = tr.eventsSince(0)
+	if len(evs) > 0 {
+		evs[0].Kind = "corrupted"
+		if tr.log()[0].Kind == "corrupted" {
+			t.Error("eventsSince returned a view aliasing the live log")
+		}
+	}
+}
+
+// TestEventsSinceTrimmedPrefix pins the maxEvents interaction: cursors
+// stay stable across trimming, a cursor into the trimmed prefix
+// resumes at the oldest retained event, and the end cursor counts
+// every event ever recorded (not just the retained tail).
+func TestEventsSinceTrimmedPrefix(t *testing.T) {
+	tr := newEvolutionTracker(3)
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			tr.observe(float64(i), obs(cellSet(int64(i*10+1))))
+		} else {
+			tr.observe(float64(i), obs(cellSet(int64(i*10+5))))
+		}
+	}
+	retained := tr.log()
+	if len(retained) != 3 {
+		t.Fatalf("expected the cap to retain 3 events, got %d", len(retained))
+	}
+	_, end := tr.eventsSince(0)
+	if end != tr.total() || end <= 3 {
+		t.Fatalf("end cursor = %d, want total ever recorded %d (> cap)", end, tr.total())
+	}
+	// Cursor 0 (deep in the trimmed prefix) resumes at the oldest
+	// retained event.
+	evs, next := tr.eventsSince(0)
+	if !reflect.DeepEqual(evs, retained) {
+		t.Errorf("eventsSince(0) = %v, want retained tail %v", evs, retained)
+	}
+	if next != end {
+		t.Errorf("eventsSince(0) next = %d, want %d", next, end)
+	}
+	// A cursor inside the retained tail returns the exact suffix.
+	evs, _ = tr.eventsSince(end - 1)
+	if !reflect.DeepEqual(evs, retained[2:]) {
+		t.Errorf("eventsSince(end-1) = %v, want %v", evs, retained[2:])
+	}
+}
+
+// TestEventsSinceEngine drives the real engine and checks that
+// EventsSince agrees with Events, resumes incrementally across
+// ingestion, and keeps its cursor stable across an intervening refresh
+// that records no new activity.
+func TestEventsSinceEngine(t *testing.T) {
+	pts := blobStream([][]float64{{0, 0}, {10, 10}}, 0.5, 4000, 1000, 1)
+	e, err := New(Config{Radius: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(pts) / 2
+	if err := e.InsertBatch(pts[:half]); err != nil {
+		t.Fatal(err)
+	}
+	evs, cursor := e.EventsSince(0)
+	if !reflect.DeepEqual(evs, e.Events()) {
+		t.Errorf("EventsSince(0) disagrees with Events: %v vs %v", evs, e.Events())
+	}
+	if cursor != uint64(len(evs)) {
+		t.Errorf("cursor = %d, want %d", cursor, len(evs))
+	}
+
+	// Resuming from the cursor after more ingestion yields exactly the
+	// new suffix.
+	if err := e.InsertBatch(pts[half:]); err != nil {
+		t.Fatal(err)
+	}
+	more, next := e.EventsSince(cursor)
+	all := e.Events()
+	if len(more) != len(all)-int(cursor) || (len(more) > 0 && !reflect.DeepEqual(more, all[cursor:])) {
+		t.Errorf("resumed EventsSince(%d) = %v, want %v", cursor, more, all[cursor:])
+	}
+	if next != uint64(len(all)) {
+		t.Errorf("next cursor = %d, want %d", next, len(all))
+	}
+
+	// A refresh that detects no activity must not move the cursor: the
+	// stream is quiescent (no new points), so back-to-back refreshes
+	// observe an identical partition.
+	e.Refresh()
+	_, stable := e.EventsSince(next)
+	e.Refresh()
+	_, stable2 := e.EventsSince(next)
+	if stable != next || stable2 != next {
+		t.Errorf("quiescent refreshes moved the cursor: %d -> %d -> %d", next, stable, stable2)
+	}
+
+	// The stats counter agrees with the cursor (total ever recorded).
+	if got := e.Stats().EvolutionEvents; got != int64(next) {
+		t.Errorf("Stats().EvolutionEvents = %d, want %d", got, next)
+	}
+}
+
+// TestInsertBatchAssignedAcks checks the per-point cell acks: same
+// clustering as InsertBatch, one ack per point, every ack naming the
+// cell that absorbed the point at absorption time.
+func TestInsertBatchAssignedAcks(t *testing.T) {
+	pts := blobStream([][]float64{{0, 0}, {10, 10}}, 0.5, 3000, 1000, 7)
+
+	ref, err := New(Config{Radius: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked, err := New(Config{Radius: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var acks []int64
+	for i := 0; i < len(pts); i += 256 {
+		end := min(i+256, len(pts))
+		if err := ref.InsertBatch(pts[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := acked.InsertBatchAssigned(pts[i:end], acks[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != end-i {
+			t.Fatalf("batch %d: %d acks for %d points", i, len(got), end-i)
+		}
+		for j, id := range got {
+			if id < 0 {
+				t.Fatalf("batch %d point %d: negative cell ack %d", i, j, id)
+			}
+		}
+		acks = got
+	}
+
+	// Identical clustering output.
+	a, b := ref.Snapshot(), acked.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("InsertBatchAssigned diverged from InsertBatch")
+	}
+	if !reflect.DeepEqual(ref.Events(), acked.Events()) {
+		t.Error("InsertBatchAssigned event log diverged from InsertBatch")
+	}
+
+	// An invalid point rejects the whole batch with no state change and
+	// an empty ack slice.
+	before := acked.Stats().Points
+	bad := []stream.Point{pts[0], {}}
+	got, err := acked.InsertBatchAssigned(bad, nil)
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if len(got) != 0 {
+		t.Errorf("failed batch returned acks: %v", got)
+	}
+	if acked.Stats().Points != before {
+		t.Error("failed batch changed engine state")
+	}
+}

@@ -77,12 +77,18 @@ type evolutionTracker struct {
 	// prev maps cluster ID -> sorted member cell IDs of the previous
 	// snapshot.
 	prev map[int][]int64
-	// events is the append-only evolution log.
+	// events is the append-only evolution log (the retained tail when
+	// maxEvents trims).
 	events    []Event
 	maxEvents int
+	// base is the cursor (sequence number) of events[0]: the count of
+	// events trimmed off the front of the log so far. Cursors are
+	// stable across trimming — event k keeps sequence number k for the
+	// life of the tracker, whether or not it is still retained.
+	base uint64
 	// view is the atomically published log header for concurrent
-	// readers (Events).
-	view atomic.Pointer[[]Event]
+	// readers (Events, EventsSince).
+	view atomic.Pointer[eventLog]
 
 	// Scratch reused across observe calls so steady-state refreshes do
 	// not allocate for the diff bookkeeping.
@@ -98,6 +104,16 @@ type evolutionTracker struct {
 
 type trackerMatch struct {
 	cur, prevID, overlap int
+}
+
+// eventLog is the atomically published view of the evolution log: the
+// retained tail of events plus the sequence number of its first entry.
+// It is immutable once published — the events slice is append-only and
+// readers never look past the published length, and a trim publishes a
+// fresh header rather than mutating the old one.
+type eventLog struct {
+	events []Event
+	base   uint64
 }
 
 func newEvolutionTracker(maxEvents int) *evolutionTracker {
@@ -319,7 +335,9 @@ func (t *evolutionTracker) observe(now float64, partition []obsCluster) []int {
 	})
 	t.events = append(t.events, events...)
 	if t.maxEvents > 0 && len(t.events) > t.maxEvents {
-		t.events = t.events[len(t.events)-t.maxEvents:]
+		drop := len(t.events) - t.maxEvents
+		t.base += uint64(drop)
+		t.events = t.events[drop:]
 	}
 	t.publish()
 
@@ -340,13 +358,17 @@ func (t *evolutionTracker) observe(now float64, partition []obsCluster) []int {
 
 // publish stores the current log header for concurrent readers.
 func (t *evolutionTracker) publish() {
-	hdr := t.events
-	t.view.Store(&hdr)
+	t.view.Store(&eventLog{events: t.events, base: t.base})
 }
 
 // log returns the recorded events (owner goroutine only; concurrent
 // readers go through logView).
 func (t *evolutionTracker) log() []Event { return t.events }
+
+// total returns the number of events ever recorded, including any
+// trimmed off the retained tail by the maxEvents cap (owner goroutine
+// only).
+func (t *evolutionTracker) total() uint64 { return t.base + uint64(len(t.events)) }
 
 // logView returns a copy of the recorded events, safe to call from any
 // goroutine concurrently with ingestion.
@@ -355,5 +377,32 @@ func (t *evolutionTracker) logView() []Event {
 	if h == nil {
 		return nil
 	}
-	return append([]Event(nil), (*h)...)
+	return append([]Event(nil), h.events...)
+}
+
+// eventsSince returns a copy of the recorded events with sequence
+// number >= cursor, together with the next cursor (the sequence number
+// one past the last event recorded so far). It is safe to call from
+// any goroutine concurrently with ingestion.
+//
+// Cursor semantics: 0 means "from the beginning"; a cursor at or past
+// the end returns an empty slice (never an error) with the current end
+// cursor; a cursor pointing into the log's trimmed prefix (possible
+// only when maxEvents is set) resumes at the oldest retained event.
+// The returned cursor is stable: it only advances when new events are
+// recorded, so a caller polling with the returned cursor sees every
+// retained event exactly once.
+func (t *evolutionTracker) eventsSince(cursor uint64) ([]Event, uint64) {
+	h := t.view.Load()
+	if h == nil {
+		return nil, 0
+	}
+	next := h.base + uint64(len(h.events))
+	if cursor >= next {
+		return nil, next
+	}
+	if cursor < h.base {
+		cursor = h.base
+	}
+	return append([]Event(nil), h.events[cursor-h.base:]...), next
 }

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/densitymountain/edmstream"
+	"github.com/densitymountain/edmstream/internal/obs"
+)
+
+// errDraining is returned to ingest requests that arrive (or are
+// still queued unserviced) while the server shuts down.
+var errDraining = errors.New("server is draining")
+
+// ingestReq is one HTTP ingest request queued for coalescing.
+type ingestReq struct {
+	pts []edmstream.Point
+	// enqueued is when the request entered the queue; the coalescer
+	// reports the oldest request's queue time as the batch wait.
+	enqueued time.Time
+	// reply receives exactly one ingestReply once the request's
+	// points are committed (or the commit failed). Buffered so the
+	// coalescer never blocks on a slow or vanished client.
+	reply chan ingestReply
+}
+
+type ingestReply struct {
+	cells []int64
+	err   error
+}
+
+// coalescer accumulates concurrently arriving ingest requests into
+// single InsertBatchAssigned calls on the one goroutine that owns the
+// clusterer's write path. A batch is held open for at most the
+// coalescing window after its first request and is flushed early when
+// it reaches maxBatch points. Each request's per-point cell acks are
+// carved out of the batch ack slice and delivered on its reply
+// channel.
+type coalescer struct {
+	c        *edmstream.Clusterer
+	queue    chan *ingestReq
+	window   time.Duration
+	maxBatch int
+
+	// carry holds a request dequeued during gather that would push
+	// the open batch past maxBatch; it becomes the trigger of the
+	// next batch. With per-request point counts capped at maxBatch by
+	// the HTTP layer, no committed batch ever exceeds maxBatch points.
+	carry *ingestReq
+
+	// stop is closed (once) to begin shutdown: the run loop drains
+	// whatever is queued, flushes, and closes done on exit. Requests
+	// still queued when the loop exits get errDraining.
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	// onFlush, when non-nil, runs on the writer goroutine after every
+	// committed batch (the server uses it to detect new evolution
+	// events and wake long-pollers).
+	onFlush func()
+
+	// Telemetry: batch size in points, requests per batch, queue wait
+	// of the oldest request in each batch, and totals.
+	batchSize    *obs.Sample
+	batchReqs    *obs.Sample
+	batchWait    obs.Timing
+	batches      *obs.Counter
+	pointsTotal  *obs.Counter
+	pending      *obs.Gauge
+	rejectsTotal *obs.Counter
+
+	// Reused across batches so a steady-state flush does not allocate
+	// for the concatenation.
+	pts  []edmstream.Point
+	acks []int64
+	reqs []*ingestReq
+}
+
+func newCoalescer(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) *coalescer {
+	return &coalescer{
+		c:            c,
+		queue:        make(chan *ingestReq, cfg.MaxPending),
+		window:       cfg.CoalesceWindow,
+		maxBatch:     cfg.MaxBatch,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		batchSize:    reg.Sample("edmserved_coalescer_batch_points", ""),
+		batchReqs:    reg.Sample("edmserved_coalescer_batch_requests", ""),
+		batchWait:    reg.Timing("edmserved_coalescer_batch_wait_seconds", ""),
+		batches:      reg.Counter("edmserved_coalescer_batches_total", ""),
+		pointsTotal:  reg.Counter("edmserved_coalescer_points_total", ""),
+		pending:      reg.Gauge("edmserved_coalescer_pending_requests", ""),
+		rejectsTotal: reg.Counter("edmserved_coalescer_rejects_total", ""),
+	}
+}
+
+// submit queues one request's pre-validated points and waits for the
+// commit ack. It is called from request goroutines; backpressure is a
+// blocking send on the bounded queue. After the ack the returned cell
+// slice is owned by the caller.
+func (co *coalescer) submit(ctx context.Context, pts []edmstream.Point) ([]int64, error) {
+	// Fast-fail once shutdown began: without this check the send
+	// below could win a race against the closed stop channel and park
+	// a request the drain pass has already run past.
+	select {
+	case <-co.stop:
+		co.rejectsTotal.Inc()
+		return nil, errDraining
+	default:
+	}
+	req := &ingestReq{pts: pts, enqueued: time.Now(), reply: make(chan ingestReply, 1)}
+	select {
+	case co.queue <- req:
+		co.pending.Add(1)
+	case <-co.stop:
+		co.rejectsTotal.Inc()
+		return nil, errDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	// Once queued, the request is serviced even if the client goes
+	// away: the commit is cheap and bounded by the flush cadence, and
+	// completing it keeps "acknowledged implies applied" exact.
+	select {
+	case rep := <-req.reply:
+		return rep.cells, rep.err
+	case <-co.done:
+		// The run loop exited; it may have serviced this request just
+		// before exiting, so prefer a waiting reply over the error.
+		select {
+		case rep := <-req.reply:
+			return rep.cells, rep.err
+		default:
+			co.pending.Add(-1)
+			co.rejectsTotal.Inc()
+			return nil, errDraining
+		}
+	}
+}
+
+// run is the writer loop. It owns every mutating call on the
+// clusterer for the life of the server.
+func (co *coalescer) run() {
+	defer close(co.done)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		var first *ingestReq
+		if co.carry != nil {
+			first, co.carry = co.carry, nil
+		} else {
+			select {
+			case first = <-co.queue:
+			case <-co.stop:
+				co.drain()
+				return
+			}
+		}
+		co.gather(first, &timer)
+		co.flush()
+		select {
+		case <-co.stop:
+			co.drain()
+			return
+		default:
+		}
+	}
+}
+
+// gather collects requests for one batch: the triggering request,
+// then whatever arrives within the coalescing window, up to maxBatch
+// points. With a zero window it takes only what is already queued.
+func (co *coalescer) gather(first *ingestReq, timer **time.Timer) {
+	co.reqs = append(co.reqs[:0], first)
+	npts := len(first.pts)
+
+	if co.window <= 0 {
+		for npts < co.maxBatch {
+			select {
+			case r := <-co.queue:
+				if npts+len(r.pts) > co.maxBatch {
+					co.carry = r
+					return
+				}
+				co.reqs = append(co.reqs, r)
+				npts += len(r.pts)
+			default:
+				return
+			}
+		}
+		return
+	}
+
+	if *timer == nil {
+		*timer = time.NewTimer(co.window)
+	} else {
+		(*timer).Reset(co.window)
+	}
+	defer func() {
+		if !(*timer).Stop() {
+			select {
+			case <-(*timer).C:
+			default:
+			}
+		}
+	}()
+	for npts < co.maxBatch {
+		select {
+		case r := <-co.queue:
+			if npts+len(r.pts) > co.maxBatch {
+				co.carry = r
+				return
+			}
+			co.reqs = append(co.reqs, r)
+			npts += len(r.pts)
+		case <-(*timer).C:
+			return
+		case <-co.stop:
+			return
+		}
+	}
+}
+
+// flush commits the gathered requests as one InsertBatchAssigned call
+// and hands each request its slice of the acks.
+func (co *coalescer) flush() {
+	if len(co.reqs) == 0 {
+		return
+	}
+	co.pts = co.pts[:0]
+	oldest := co.reqs[0].enqueued
+	for _, r := range co.reqs {
+		co.pts = append(co.pts, r.pts...)
+		if r.enqueued.Before(oldest) {
+			oldest = r.enqueued
+		}
+	}
+	co.pending.Add(-int64(len(co.reqs)))
+
+	acks, err := co.c.InsertBatchAssigned(co.pts, co.acks[:0])
+	co.acks = acks
+
+	co.batches.Inc()
+	co.batchSize.Observe(float64(len(co.pts)))
+	co.batchReqs.Observe(float64(len(co.reqs)))
+	co.batchWait.Observe(time.Since(oldest))
+	if err == nil {
+		co.pointsTotal.Add(uint64(len(co.pts)))
+	}
+
+	off := 0
+	for _, r := range co.reqs {
+		rep := ingestReply{err: err}
+		if err == nil {
+			// Owned copy: co.acks is reused by the next batch.
+			rep.cells = append([]int64(nil), acks[off:off+len(r.pts)]...)
+		}
+		off += len(r.pts)
+		r.reply <- rep
+	}
+	// Zero the request pointers so the reused backing array does not
+	// pin request payloads until the slots happen to be overwritten.
+	clear(co.reqs)
+	co.reqs = co.reqs[:0]
+
+	if co.onFlush != nil {
+		co.onFlush()
+	}
+}
+
+// drain services everything queued at shutdown: requests already
+// accepted into the queue are committed (in maxBatch-bounded batches)
+// so no accepted work is dropped, then the loop exits and any
+// requests that arrive later get errDraining from submit.
+func (co *coalescer) drain() {
+	for {
+		var first *ingestReq
+		if co.carry != nil {
+			first, co.carry = co.carry, nil
+		} else {
+			select {
+			case first = <-co.queue:
+			default:
+				return
+			}
+		}
+		co.reqs = append(co.reqs[:0], first)
+		npts := len(first.pts)
+	gather:
+		for npts < co.maxBatch {
+			select {
+			case r := <-co.queue:
+				if npts+len(r.pts) > co.maxBatch {
+					co.carry = r
+					break gather
+				}
+				co.reqs = append(co.reqs, r)
+				npts += len(r.pts)
+			default:
+				break gather
+			}
+		}
+		co.flush()
+	}
+}
+
+// beginShutdown signals the run loop to drain and exit. It returns
+// immediately; wait on done for completion. Safe to call repeatedly.
+func (co *coalescer) beginShutdown() {
+	co.stopOnce.Do(func() { close(co.stop) })
+}

@@ -1,0 +1,136 @@
+// Package server exposes an EDMStream clusterer over HTTP/JSON: the
+// edmserved network daemon. It splits the engine's two personalities
+// the way the engine itself does — a single-owner write path and a
+// lock-free read path:
+//
+//   - Writes (POST /v1/ingest) flow through a request coalescer: one
+//     writer goroutine owns the clusterer, accumulates concurrently
+//     arriving requests into a bounded window, and commits them with a
+//     single InsertBatchAssigned call, so the engine's parallel
+//     speculative router sees real batches under concurrent load and
+//     every request still gets its own per-point cell acks.
+//   - Reads (POST /v1/assign, GET /v1/snapshot, /v1/clusters/{id},
+//     /v1/events, /v1/stats) are served straight from the engine's
+//     atomically published state on the request goroutine — they never
+//     queue behind writes and never block them.
+//
+// GET /v1/events supports cursor-based long-polling against the
+// engine's evolution log (EventsSince), GET /metrics exports
+// operational telemetry (internal/obs) in Prometheus text format, and
+// Shutdown drains accepted ingest work before returning so no
+// acknowledged point is ever lost.
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Config configures the serving daemon. The zero value is usable for
+// tests (loopback listener on an ephemeral port, sane coalescing
+// window); every field has a default.
+type Config struct {
+	// Addr is the TCP listen address, e.g. ":8080" or
+	// "127.0.0.1:0" (ephemeral port, the test default). Default
+	// "127.0.0.1:8080".
+	Addr string
+	// CoalesceWindow is how long the ingest coalescer keeps a batch
+	// open for more concurrently arriving requests after the first
+	// one, trading a bounded latency increase for larger InsertBatch
+	// calls. Zero flushes a batch as soon as no further request is
+	// immediately available (minimum latency, still coalescing bursts
+	// already queued); negative is invalid. Default 2ms.
+	CoalesceWindow time.Duration
+	// MaxBatch caps the number of points one coalesced InsertBatch
+	// call may carry; a batch is flushed as soon as it reaches the
+	// cap, window notwithstanding, and a request that would overflow
+	// an open batch triggers the next one instead. It also caps a
+	// single request's point count (larger requests are rejected with
+	// 400 — split them client-side). Zero means the default 4096;
+	// negative is invalid.
+	MaxBatch int
+	// MaxPending bounds the ingest queue: the number of HTTP requests
+	// that may sit between acceptance and commit. A full queue makes
+	// further ingest requests wait (backpressure), not fail. Zero
+	// means the default 1024; negative is invalid.
+	MaxPending int
+	// LongPollTimeout caps how long GET /v1/events may hold a
+	// long-poll open before returning an empty page; a request's wait
+	// parameter is clamped to it. Zero means the default 30s;
+	// negative is invalid.
+	LongPollTimeout time.Duration
+	// MaxBodyBytes caps the size of a request body. Zero means the
+	// default 8 MiB; negative is invalid.
+	MaxBodyBytes int64
+}
+
+// Defaults.
+const (
+	defaultAddr            = "127.0.0.1:8080"
+	defaultCoalesceWindow  = 2 * time.Millisecond
+	defaultMaxBatch        = 4096
+	defaultMaxPending      = 1024
+	defaultLongPollTimeout = 30 * time.Second
+	defaultMaxBodyBytes    = 8 << 20
+)
+
+// withDefaults returns a copy with defaults filled in. CoalesceWindow
+// zero is preserved: it is the documented "no added wait" setting, not
+// an unset marker (the default window only applies through
+// DefaultConfig).
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = defaultAddr
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = defaultMaxBatch
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = defaultMaxPending
+	}
+	if c.LongPollTimeout == 0 {
+		c.LongPollTimeout = defaultLongPollTimeout
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	return c
+}
+
+// DefaultConfig returns the production defaults, including the 2ms
+// coalescing window (a zero-valued Config keeps a zero window, which
+// coalesces only what is already queued).
+func DefaultConfig() Config {
+	c := Config{CoalesceWindow: defaultCoalesceWindow}.withDefaults()
+	return c
+}
+
+// Validate checks the configuration, rejecting nonsense values with
+// errors naming the field and the constraint.
+func (c Config) Validate() error {
+	if c.CoalesceWindow < 0 {
+		return fmt.Errorf("server: CoalesceWindow must be non-negative (0 flushes immediately), got %v", c.CoalesceWindow)
+	}
+	if c.CoalesceWindow > time.Minute {
+		return fmt.Errorf("server: CoalesceWindow %v is absurd for a serving path (max 1m)", c.CoalesceWindow)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("server: MaxBatch must be non-negative (0 means the default %d), got %d", defaultMaxBatch, c.MaxBatch)
+	}
+	if c.MaxPending < 0 {
+		return fmt.Errorf("server: MaxPending must be non-negative (0 means the default %d), got %d", defaultMaxPending, c.MaxPending)
+	}
+	if c.LongPollTimeout < 0 {
+		return fmt.Errorf("server: LongPollTimeout must be non-negative (0 means the default %v), got %v", defaultLongPollTimeout, c.LongPollTimeout)
+	}
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("server: MaxBodyBytes must be non-negative (0 means the default %d), got %d", int64(defaultMaxBodyBytes), c.MaxBodyBytes)
+	}
+	if c.Addr != "" {
+		if _, _, err := net.SplitHostPort(c.Addr); err != nil {
+			return fmt.Errorf("server: Addr %q is not a host:port listen address: %w", c.Addr, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConfigValidate is the options table test: every nonsense value
+// is rejected with an error naming the field, and the documented
+// defaults fill in for zero values.
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{}, // zero value: all defaults
+		DefaultConfig(),
+		{Addr: "127.0.0.1:0"},
+		{Addr: ":8080"},
+		{CoalesceWindow: 5 * time.Millisecond},
+		{MaxBatch: 1},
+		{MaxPending: 1},
+		{LongPollTimeout: time.Second},
+		{MaxBodyBytes: 1 << 10},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+
+	bad := []struct {
+		cfg  Config
+		want string // substring the error must carry (the field name)
+	}{
+		{Config{CoalesceWindow: -time.Millisecond}, "CoalesceWindow"},
+		{Config{CoalesceWindow: 2 * time.Minute}, "CoalesceWindow"},
+		{Config{MaxBatch: -1}, "MaxBatch"},
+		{Config{MaxPending: -5}, "MaxPending"},
+		{Config{LongPollTimeout: -time.Second}, "LongPollTimeout"},
+		{Config{MaxBodyBytes: -1}, "MaxBodyBytes"},
+		{Config{Addr: "no-port"}, "Addr"},
+		{Config{Addr: "1.2.3.4"}, "Addr"},
+	}
+	for i, tc := range bad {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("bad config %d: error %q does not name %s", i, err, tc.want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := Config{}.withDefaults()
+	if d.Addr != defaultAddr || d.MaxBatch != defaultMaxBatch ||
+		d.MaxPending != defaultMaxPending || d.LongPollTimeout != defaultLongPollTimeout ||
+		d.MaxBodyBytes != defaultMaxBodyBytes {
+		t.Errorf("zero config defaults wrong: %+v", d)
+	}
+	// The zero window is a real setting (flush immediately), not an
+	// unset marker; the production default comes from DefaultConfig.
+	if d.CoalesceWindow != 0 {
+		t.Errorf("zero CoalesceWindow must stay zero, got %v", d.CoalesceWindow)
+	}
+	if DefaultConfig().CoalesceWindow != defaultCoalesceWindow {
+		t.Errorf("DefaultConfig window = %v, want %v", DefaultConfig().CoalesceWindow, defaultCoalesceWindow)
+	}
+}

@@ -1,0 +1,557 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/densitymountain/edmstream"
+	"github.com/densitymountain/edmstream/internal/obs"
+)
+
+// Server serves one Clusterer over HTTP. Create it with New, start it
+// with Start (or drive its Handler directly in tests), and stop it
+// with Shutdown, which drains accepted ingest work before returning.
+//
+// The server takes ownership of the clusterer's write path: from New
+// until Shutdown returns, no other goroutine may call the clusterer's
+// mutating methods (Insert, InsertBatch, Snapshot, ...). The
+// lock-free read methods remain available to everyone.
+type Server struct {
+	c   *edmstream.Clusterer
+	cfg Config
+
+	coal *coalescer
+	reg  *obs.Registry
+	mux  *http.ServeMux
+	http *http.Server
+
+	// start anchors the server's stream clock: points arriving
+	// without an explicit timestamp are stamped with seconds since
+	// start.
+	start time.Time
+
+	// events wakes /v1/events long-pollers; eventCursor is the end
+	// cursor as of the last flush, maintained on the writer goroutine
+	// and used to detect that a flush recorded new events.
+	events      notifier
+	eventCursor uint64
+
+	// shape is the stream's established modality/dimensionality
+	// (pointShape): 0 until the first ingested point fixes it (or New
+	// learns it from an already-published snapshot), -1 for token
+	// sets, the vector dimensionality otherwise. Every ingest and
+	// assign point is checked against it so a mismatched request gets
+	// a 400 instead of reaching the engine's distance kernels.
+	shape atomic.Int64
+
+	draining atomic.Bool
+	// drainCh is closed when Shutdown begins; long-poll sleeps select
+	// on it so a poller that registered concurrently with the shutdown
+	// wake cannot sleep through the HTTP drain.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	listener net.Listener
+	serveErr chan error
+	started  atomic.Bool
+	// coalStarted records that the coalescer run loop was actually
+	// launched; Shutdown only waits for its drain in that case (a
+	// failed Start never launches it, and waiting would hang forever).
+	coalStarted atomic.Bool
+}
+
+// New builds a server for the given clusterer. The clusterer must
+// already be constructed (its Options validated by edmstream.New);
+// cfg is validated here.
+func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		c:        c,
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		start:    time.Now(),
+		drainCh:  make(chan struct{}),
+		serveErr: make(chan error, 1),
+	}
+	s.coal = newCoalescer(c, cfg, s.reg)
+	s.coal.onFlush = s.flushHook
+	_, s.eventCursor = c.EventsSince(^uint64(0))
+	// A pre-fed clusterer that already published a snapshot fixes the
+	// stream shape before the first ingest arrives.
+	if snap := c.LastSnapshot(); len(snap.Clusters) > 0 && len(snap.Clusters[0].SeedPoints) > 0 {
+		s.shape.Store(pointShape(snap.Clusters[0].SeedPoints[0]))
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/ingest", "ingest", s.handleIngest)
+	s.route("POST /v1/assign", "assign", s.handleAssign)
+	s.route("GET /v1/snapshot", "snapshot", s.handleSnapshot)
+	s.route("GET /v1/clusters/{id}", "cluster", s.handleCluster)
+	s.route("GET /v1/events", "events", s.handleEvents)
+	s.route("GET /v1/stats", "stats", s.handleStats)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// route registers a handler wrapped with per-endpoint telemetry:
+// request counts and latency quantiles under the endpoint label.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	labels := `endpoint="` + name + `"`
+	requests := s.reg.Counter("edmserved_http_requests_total", labels)
+	errCount := s.reg.Counter("edmserved_http_errors_total", labels)
+	latency := s.reg.Timing("edmserved_http_request_duration_seconds", labels)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		latency.Observe(time.Since(begin))
+		requests.Inc()
+		if sw.status >= 400 {
+			errCount.Inc()
+		}
+	})
+}
+
+// statusWriter records the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the server's HTTP handler (every endpoint,
+// telemetry included) for in-process use: tests and the e2e benchmark
+// drive it through httptest or a private listener. The coalescer must
+// be running — use Start, or StartDetached for handler-only serving.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's telemetry registry (the e2e benchmark
+// reads coalescer distributions from it directly).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start listens on cfg.Addr and serves until Shutdown. It returns
+// once the listener is bound (so callers may read Addr), with serving
+// continuing on background goroutines.
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		s.started.Store(false)
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.listener = ln
+	s.coalStarted.Store(true)
+	go s.coal.run()
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+		}
+	}()
+	return nil
+}
+
+// StartDetached starts only the coalescer, for callers that drive
+// Handler through their own listener (httptest servers).
+func (s *Server) StartDetached() {
+	if s.started.CompareAndSwap(false, true) {
+		s.coalStarted.Store(true)
+		go s.coal.run()
+	}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Err reports an asynchronous serve failure, if any (nil otherwise).
+func (s *Server) Err() error {
+	select {
+	case err := <-s.serveErr:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Shutdown stops the server gracefully: new ingest requests are
+// rejected with 503, long-polls return immediately, in-flight
+// requests run to completion, and every ingest request accepted into
+// the coalescer queue is committed before the writer goroutine exits
+// — an acknowledged (HTTP 200) ingest is never dropped. The context
+// bounds the wait for in-flight HTTP requests; the final coalescer
+// drain is not abandoned on context expiry (it is bounded work:
+// at most MaxPending queued requests).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.events.wake() // release long-pollers so the HTTP drain can finish
+	var httpErr error
+	if s.listener != nil {
+		httpErr = s.http.Shutdown(ctx)
+	}
+	s.coal.beginShutdown()
+	if s.coalStarted.Load() {
+		// The drain is bounded work (at most the queued requests), so
+		// it is awaited even past ctx expiry — abandoning it would
+		// break the "acknowledged implies applied" contract.
+		<-s.coal.done
+	}
+	return httpErr
+}
+
+// streamNow returns the server's stream clock: seconds since start.
+// Points without explicit timestamps are stamped with it.
+func (s *Server) streamNow() float64 { return time.Since(s.start).Seconds() }
+
+// checkShape verifies every point against the stream's established
+// shape. When learn is true (the ingest path) the first point of an
+// unshaped stream fixes the shape; the assign path never learns —
+// reads must not define the stream. Concurrent first ingests race on
+// the CAS; exactly one shape wins and the loser's request is rejected
+// like any other mismatch.
+func (s *Server) checkShape(pts []edmstream.Point, learn bool) error {
+	for i := range pts {
+		ps := pointShape(pts[i])
+		cur := s.shape.Load()
+		if cur == 0 {
+			if !learn {
+				// Nothing established yet and reads cannot establish
+				// it; the engine has no cells, so any probe is an
+				// outlier anyway.
+				continue
+			}
+			if s.shape.CompareAndSwap(0, ps) {
+				continue
+			}
+			cur = s.shape.Load()
+		}
+		if ps != cur {
+			return fmt.Errorf("point %d: stream serves %s points, got %s", i, shapeString(cur), shapeString(ps))
+		}
+	}
+	return nil
+}
+
+// flushHook runs on the writer goroutine after every committed batch:
+// if the flush recorded new evolution events, wake the long-pollers.
+func (s *Server) flushHook() {
+	if _, cur := s.c.EventsSince(^uint64(0)); cur != s.eventCursor {
+		s.eventCursor = cur
+		s.events.wake()
+	}
+}
+
+// ---- Handlers ----
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	pts, err := decodePoints(body, s.streamNow(), s.cfg.MaxBatch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkShape(pts, true); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(pts) == 0 {
+		writeJSON(w, http.StatusOK, ingestResponse{Accepted: 0, Cells: []int64{}})
+		return
+	}
+	cells, err := s.coal.submit(r.Context(), pts)
+	switch {
+	case errors.Is(err, errDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Client went away while queued; nothing was committed for it.
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		// A commit error on pre-validated points is a server-side
+		// failure, not the client's.
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(pts), Cells: cells})
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	pts, err := decodePoints(body, s.streamNow(), s.cfg.MaxBatch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkShape(pts, false); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids := s.c.AssignBatch(pts, make([]int, 0, len(pts)))
+	writeJSON(w, http.StatusOK, assignResponse{Clusters: ids})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.c.LastSnapshot()
+	resp := snapshotResponse{
+		Time:         snap.Time,
+		Tau:          snap.Tau,
+		ActiveCells:  snap.ActiveCells,
+		OutlierCells: snap.OutlierCells,
+		Clusters:     make([]wireClusterSummary, 0, len(snap.Clusters)),
+	}
+	for i := range snap.Clusters {
+		resp.Clusters = append(resp.Clusters, summarize(&snap.Clusters[i]))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster id %q is not an integer", r.PathValue("id")))
+		return
+	}
+	snap := s.c.LastSnapshot()
+	cl, ok := snap.Cluster(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no cluster %d in the published snapshot", id))
+		return
+	}
+	resp := clusterResponse{
+		wireClusterSummary: summarize(&cl),
+		Members:            make([]wireSeed, 0, len(cl.CellIDs)),
+	}
+	for i, cid := range cl.CellIDs {
+		seed := wireSeed{CellID: cid}
+		p := cl.SeedPoints[i]
+		if p.IsText() {
+			seed.Tokens = p.Tokens.Tokens()
+		} else {
+			seed.Vector = p.Vector
+		}
+		resp.Members = append(resp.Members, seed)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func summarize(cl *edmstream.ClusterInfo) wireClusterSummary {
+	return wireClusterSummary{
+		ID:          cl.ID,
+		PeakCellID:  cl.PeakCellID,
+		PeakDensity: cl.PeakDensity,
+		Cells:       len(cl.CellIDs),
+		Weight:      cl.Weight,
+		Points:      cl.Points,
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var cursor uint64
+	if raw := q.Get("cursor"); raw != "" {
+		var err error
+		cursor, err = strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("cursor %q is not a non-negative integer", raw))
+			return
+		}
+	}
+	var wait time.Duration
+	if raw := q.Get("wait"); raw != "" {
+		var err error
+		wait, err = time.ParseDuration(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("wait %q is not a duration (try 30s)", raw))
+			return
+		}
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > s.cfg.LongPollTimeout {
+		wait = s.cfg.LongPollTimeout
+	}
+	deadline := time.Now().Add(wait)
+
+	for {
+		evs, next := s.c.EventsSince(cursor)
+		if len(evs) > 0 || wait <= 0 || s.draining.Load() {
+			writeJSON(w, http.StatusOK, eventsResponse{Cursor: next, Events: toWireEvents(evs)})
+			return
+		}
+		// Long-poll: register for a wake-up, then re-check so an event
+		// recorded between the check above and the registration is not
+		// missed, then sleep until events, deadline or disconnect.
+		ch := s.events.wait()
+		if evs, next = s.c.EventsSince(cursor); len(evs) > 0 {
+			writeJSON(w, http.StatusOK, eventsResponse{Cursor: next, Events: toWireEvents(evs)})
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeJSON(w, http.StatusOK, eventsResponse{Cursor: next, Events: []wireEvent{}})
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-s.drainCh:
+			timer.Stop()
+			writeJSON(w, http.StatusOK, eventsResponse{Cursor: next, Events: []wireEvent{}})
+			return
+		case <-timer.C:
+			writeJSON(w, http.StatusOK, eventsResponse{Cursor: next, Events: []wireEvent{}})
+			return
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// statsResponse is the GET /v1/stats body: engine counters plus the
+// server's own serving-side numbers.
+type statsResponse struct {
+	Engine edmstream.Stats `json:"engine"`
+	Server serverStats     `json:"server"`
+}
+
+type serverStats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	StreamTime    float64        `json:"stream_time"`
+	Tau           float64        `json:"tau"`
+	Draining      bool           `json:"draining"`
+	Coalescer     coalescerStats `json:"coalescer"`
+}
+
+type coalescerStats struct {
+	Batches          uint64  `json:"batches"`
+	Points           uint64  `json:"points"`
+	Rejects          uint64  `json:"rejects"`
+	PendingRequests  int64   `json:"pending_requests"`
+	BatchPointsP50   float64 `json:"batch_points_p50"`
+	BatchPointsP90   float64 `json:"batch_points_p90"`
+	BatchPointsP99   float64 `json:"batch_points_p99"`
+	BatchPointsMax   float64 `json:"batch_points_max"`
+	BatchRequestsP50 float64 `json:"batch_requests_p50"`
+	BatchRequestsP99 float64 `json:"batch_requests_p99"`
+	BatchWaitP50Sec  float64 `json:"batch_wait_p50_seconds"`
+	BatchWaitP99Sec  float64 `json:"batch_wait_p99_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	size := s.coal.batchSize.Stats()
+	reqs := s.coal.batchReqs.Stats()
+	wait := s.coal.batchWait.Stats()
+	resp := statsResponse{
+		Engine: s.c.Stats(),
+		Server: serverStats{
+			UptimeSeconds: time.Since(s.start).Seconds(),
+			StreamTime:    s.c.LastSnapshot().Time,
+			Tau:           s.c.LastSnapshot().Tau,
+			Draining:      s.draining.Load(),
+			Coalescer: coalescerStats{
+				Batches:          s.coal.batches.Value(),
+				Points:           s.coal.pointsTotal.Value(),
+				Rejects:          s.coal.rejectsTotal.Value(),
+				PendingRequests:  s.coal.pending.Value(),
+				BatchPointsP50:   size.P50,
+				BatchPointsP90:   size.P90,
+				BatchPointsP99:   size.P99,
+				BatchPointsMax:   size.WindowMax,
+				BatchRequestsP50: reqs.P50,
+				BatchRequestsP99: reqs.P99,
+				BatchWaitP50Sec:  wait.P50,
+				BatchWaitP99Sec:  wait.P99,
+			},
+		},
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// ---- Helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// notifier is a broadcast edge: wait returns a channel closed by the
+// next wake, after which waiters re-check their condition.
+type notifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (n *notifier) wait() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ch == nil {
+		n.ch = make(chan struct{})
+	}
+	return n.ch
+}
+
+func (n *notifier) wake() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ch != nil {
+		close(n.ch)
+		n.ch = nil
+	}
+}
