@@ -1,6 +1,8 @@
 package edmstream
 
 import (
+	"io"
+
 	"github.com/densitymountain/edmstream/internal/core"
 )
 
@@ -145,3 +147,25 @@ func (c *Clusterer) ReservoirBound() float64 { return c.core.ReservoirBound() }
 // ("grid" or "linear"; empty before the first point arrives). The
 // choice is controlled by Options.IndexPolicy.
 func (c *Clusterer) IndexKind() string { return c.core.IndexKind() }
+
+// WriteCheckpoint serializes the clusterer's complete state to w
+// (CRC-protected). A clusterer restored from the checkpoint and fed
+// the remainder of the stream produces output byte-identical to one
+// that was never checkpointed — identical snapshots, cells, evolution
+// events, statistics and τ. Owner goroutine only.
+func (c *Clusterer) WriteCheckpoint(w io.Writer) error {
+	return c.core.EncodeCheckpoint(w)
+}
+
+// RestoreCheckpoint replaces the clusterer's state with a checkpoint
+// previously written by WriteCheckpoint under the same options. On
+// error the clusterer is left unchanged. Owner goroutine only; no
+// reader may hold the clusterer concurrently with a restore.
+func (c *Clusterer) RestoreCheckpoint(r io.Reader) error {
+	e, err := core.DecodeCheckpoint(c.core.Config(), r)
+	if err != nil {
+		return err
+	}
+	c.core = e
+	return nil
+}

@@ -6,7 +6,8 @@
 //
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
-//	             ablation, index, throughput, serve, parallel, e2e, all
+//	             ablation, index, throughput, serve, parallel, e2e,
+//	             wal, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -31,10 +32,20 @@ var (
 	serveJSON      string
 	parallelJSON   string
 	e2eJSON        string
+	walJSON        string
 	minSpeedup     float64
 )
 
 func main() {
+	// The wal experiment's kill-and-restart drill re-execs this binary
+	// as its durable serving child; divert before flag parsing.
+	if os.Getenv("EDMBENCH_WAL_CHILD") == "1" {
+		if err := bench.RunWALChild(); err != nil {
+			fmt.Fprintf(os.Stderr, "edmbench: wal child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	points := flag.Int("points", 20000, "stream length per dataset")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic generators")
 	rate := flag.Float64("rate", 1000, "arrival rate in points per second")
@@ -46,6 +57,8 @@ func main() {
 		"path of the machine-readable artifact the parallel experiment writes (empty disables it)")
 	flag.StringVar(&e2eJSON, "e2ejson", "BENCH_e2e.json",
 		"path of the machine-readable artifact the e2e experiment writes (empty disables it)")
+	flag.StringVar(&walJSON, "waljson", "BENCH_wal.json",
+		"path of the machine-readable artifact the wal experiment writes (empty disables it)")
 	flag.Float64Var(&minSpeedup, "minspeedup", 0,
 		"fail the parallel experiment when the 4-worker speedup falls below this ratio (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Usage = usage
@@ -94,6 +107,11 @@ experiments:
             points/sec, assign qps, per-endpoint latency quantiles and
             the coalescer batch-size distribution (writes the
             machine-readable BENCH_e2e.json artifact)
+  wal       durability: ingest throughput with the WAL fsync on vs off,
+            then a kill-and-restart drill — SIGKILL a durable serving
+            child mid-traffic, restart it on the same WAL directory and
+            require byte-identical recovery of every acknowledged point
+            (writes the machine-readable BENCH_wal.json artifact)
   all       run every experiment
 
 flags:
@@ -278,8 +296,20 @@ func run(id string, s bench.Scale) error {
 			}
 			fmt.Printf("wrote %s\n", e2eJSON)
 		}
+	case "wal":
+		rep, err := bench.RunWAL(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatWAL(rep))
+		if walJSON != "" {
+			if err := bench.WriteWALJSON(walJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", walJSON)
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e", "wal"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

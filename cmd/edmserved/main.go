@@ -55,6 +55,10 @@ type cliConfig struct {
 	longPollTimeout time.Duration
 	maxBodyBytes    int64
 	shutdownGrace   time.Duration
+	dataDir         string
+	walSegmentBytes int64
+	walNoSync       bool
+	checkpointEvery int
 }
 
 func registerFlags(fs *flag.FlagSet, c *cliConfig) {
@@ -73,6 +77,10 @@ func registerFlags(fs *flag.FlagSet, c *cliConfig) {
 	fs.DurationVar(&c.longPollTimeout, "longpoll-timeout", 30*time.Second, "max /v1/events long-poll hold time")
 	fs.Int64Var(&c.maxBodyBytes, "max-body", 0, "max request body bytes (0 = default 8 MiB)")
 	fs.DurationVar(&c.shutdownGrace, "shutdown-grace", 15*time.Second, "max wait for in-flight requests at shutdown")
+	fs.StringVar(&c.dataDir, "data-dir", "", "durability directory: WAL + checkpoints; empty serves in memory only")
+	fs.Int64Var(&c.walSegmentBytes, "wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 64 MiB)")
+	fs.BoolVar(&c.walNoSync, "wal-nosync", false, "skip the fsync-before-ack (throughput mode; acknowledged data may be lost in a crash)")
+	fs.IntVar(&c.checkpointEvery, "checkpoint-every", 0, "points committed between engine checkpoints into the WAL (0 = default 50000)")
 }
 
 // buildOptions maps the flags to library options. Validation happens
@@ -99,6 +107,10 @@ func buildServerConfig(c cliConfig) server.Config {
 		MaxPending:      c.maxPending,
 		LongPollTimeout: c.longPollTimeout,
 		MaxBodyBytes:    c.maxBodyBytes,
+		DataDir:         c.dataDir,
+		WALSegmentBytes: c.walSegmentBytes,
+		WALNoSync:       c.walNoSync,
+		CheckpointEvery: c.checkpointEvery,
 	}
 }
 
@@ -120,6 +132,9 @@ func main() {
 	s, err := server.New(c, buildServerConfig(cfg))
 	if err != nil {
 		log.Fatalf("edmserved: %v", err)
+	}
+	if cfg.dataDir != "" {
+		log.Printf("edmserved: %s (data dir %s)", s.RecoveryInfo(), cfg.dataDir)
 	}
 	if err := s.Start(); err != nil {
 		log.Fatalf("edmserved: %v", err)

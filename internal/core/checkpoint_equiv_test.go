@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/densitymountain/edmstream/internal/distance"
+	"github.com/densitymountain/edmstream/internal/stream"
+)
+
+// roundTrip encodes e into a checkpoint and decodes it into a fresh
+// engine under the same configuration.
+func roundTrip(t *testing.T, e *EDMStream) *EDMStream {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.EncodeCheckpoint(&buf); err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	restored, err := DecodeCheckpoint(e.Config(), &buf)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	return restored
+}
+
+// checkpointRun is batchRun with a checkpoint+restore inserted after
+// `cut` points: the engine is serialized, thrown away, rebuilt from
+// the checkpoint and fed the remainder of the stream. Its output must
+// be byte-identical to an uninterrupted run.
+func checkpointRun(t *testing.T, cfg Config, pts []stream.Point, batchSize, snapEvery, cut int) (*EDMStream, []Snapshot) {
+	t.Helper()
+	if snapEvery%batchSize != 0 || cut%batchSize != 0 {
+		t.Fatalf("snapEvery %d and cut %d must be multiples of batchSize %d", snapEvery, cut, batchSize)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%v): %v", cfg.IndexPolicy, err)
+	}
+	var snaps []Snapshot
+	for i := 0; i < len(pts); i += batchSize {
+		end := i + batchSize
+		if end > len(pts) {
+			end = len(pts)
+		}
+		if err := e.InsertBatch(pts[i:end]); err != nil {
+			t.Fatalf("InsertBatch(points %d:%d): %v", i, end, err)
+		}
+		if end%snapEvery == 0 {
+			snaps = append(snaps, e.Snapshot())
+		}
+		if end == cut {
+			e = roundTrip(t, e)
+		}
+	}
+	snaps = append(snaps, e.Snapshot())
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("cut %d: %v", cut, err)
+	}
+	return e, snaps
+}
+
+// TestCheckpointReplayEquivalence is the durability property test: for
+// random streams, batch sizes, both index policies and both τ modes, a
+// run interrupted by checkpoint+restore must be byte-identical to an
+// uninterrupted run — same snapshots (cluster IDs, peaks, members,
+// weights), same cells, same evolution events, same statistics and
+// same τ. The cut points cover the initialization phase (the engine is
+// checkpointed before the DP-Tree exists) and steady state.
+func TestCheckpointReplayEquivalence(t *testing.T) {
+	streams := map[string][]stream.Point{
+		"bursty":  burstyStream(7, 3000, 3, 0.15),
+		"shuffed": burstyStream(42, 2500, 4, 0.3),
+	}
+	cfgs := map[string]Config{
+		"static": {
+			Radius: 0.8, Tau: 2.5, InitPoints: 200,
+			EvolutionInterval: 0.25, SweepInterval: 0.2,
+		},
+		"adaptive": {
+			Radius: 0.8, AdaptiveTau: true, Tau: 2.5, InitPoints: 200,
+			EvolutionInterval: 0.25, SweepInterval: 0.2,
+		},
+	}
+	batchSizes := []int{25, 250}
+	const snapEvery = 500
+
+	for sname, pts := range streams {
+		for cname, cfg := range cfgs {
+			for _, policy := range []IndexPolicy{IndexGrid, IndexLinear} {
+				cfg := cfg
+				cfg.IndexPolicy = policy
+				for _, bs := range batchSizes {
+					ref, refSnaps := batchRun(t, cfg, pts, bs, snapEvery)
+					// 2·bs lands inside the initialization phase for
+					// the small batch size (before InitPoints have
+					// arrived); 1500 is steady state for both.
+					for _, cut := range []int{2 * bs, 1500} {
+						name := fmt.Sprintf("%s/%s/%s/bs%d/cut%d", sname, cname, policy, bs, cut)
+						t.Run(name, func(t *testing.T) {
+							ck, ckSnaps := checkpointRun(t, cfg, pts, bs, snapEvery, cut)
+							compareSnapshots(t, ckSnaps, refSnaps)
+							compareCells(t, ck, ref)
+							compareEvents(t, ck.Events(), ref.Events())
+							if cs, rs := ck.Stats(), ref.Stats(); cs != rs {
+								t.Fatalf("stats differ:\n  checkpointed %+v\n  reference    %+v", cs, rs)
+							}
+							if ck.Tau() != ref.Tau() || ck.Alpha() != ref.Alpha() {
+								t.Fatalf("τ/α differ: checkpointed (%v, %v), reference (%v, %v)",
+									ck.Tau(), ck.Alpha(), ref.Tau(), ref.Alpha())
+							}
+							if ck.Now() != ref.Now() {
+								t.Fatalf("stream clock differs: checkpointed %v, reference %v", ck.Now(), ref.Now())
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointDeterministicBytes asserts the encoding itself is
+// deterministic: encoding, decoding and re-encoding yields the exact
+// same bytes. The WAL layer relies on this — a recovered engine's next
+// checkpoint must not differ just because it went through a restore.
+func TestCheckpointDeterministicBytes(t *testing.T) {
+	pts := burstyStream(11, 2000, 3, 0.2)
+	cfg := Config{Radius: 0.8, AdaptiveTau: true, Tau: 2.5, InitPoints: 200,
+		EvolutionInterval: 0.25, SweepInterval: 0.2}
+	e, _ := batchRun(t, cfg, pts, 100, 1000)
+
+	var first bytes.Buffer
+	if err := e.EncodeCheckpoint(&first); err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	restored, err := DecodeCheckpoint(e.Config(), bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	var second bytes.Buffer
+	if err := restored.EncodeCheckpoint(&second); err != nil {
+		t.Fatalf("re-EncodeCheckpoint: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("checkpoint bytes differ after a decode/encode round trip (%d vs %d bytes)",
+			first.Len(), second.Len())
+	}
+}
+
+// TestCheckpointPublishedState asserts the read-side state survives a
+// restore verbatim: the published snapshot (weights were normalized at
+// refresh time and cannot be recomputed later), the event log with its
+// cursor arithmetic, and the mirrored statistics.
+func TestCheckpointPublishedState(t *testing.T) {
+	pts := burstyStream(3, 2200, 3, 0.2)
+	cfg := Config{Radius: 0.8, Tau: 2.5, InitPoints: 200, MaxEvents: 8,
+		EvolutionInterval: 0.25, SweepInterval: 0.2}
+	e, _ := batchRun(t, cfg, pts, 100, 1100)
+	restored := roundTrip(t, e)
+
+	a, b := e.LastSnapshot(), restored.LastSnapshot()
+	compareSnapshots(t, []Snapshot{a}, []Snapshot{b})
+	for i := range a.Clusters {
+		if a.Clusters[i].PeakDensity != b.Clusters[i].PeakDensity {
+			t.Fatalf("cluster %d peak density differs: %v vs %v",
+				i, a.Clusters[i].PeakDensity, b.Clusters[i].PeakDensity)
+		}
+	}
+
+	// Event cursors must agree even when MaxEvents trimmed the log.
+	ea, ca := e.EventsSince(0)
+	eb, cb := restored.EventsSince(0)
+	if ca != cb {
+		t.Fatalf("event cursors differ: %d vs %d", ca, cb)
+	}
+	compareEvents(t, ea, eb)
+	if sa, sb := e.Stats(), restored.Stats(); sa != sb {
+		t.Fatalf("published stats differ:\n  original %+v\n  restored %+v", sa, sb)
+	}
+}
+
+// TestCheckpointTokenStream exercises the token-set seed codec: text
+// points carry map-backed token sets that must round-trip through the
+// checkpoint's sorted-slice encoding.
+func TestCheckpointTokenStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	pts := make([]stream.Point, 1200)
+	for i := range pts {
+		toks := distance.NewTokenSet(vocab[rng.Intn(4)], vocab[4+rng.Intn(4)], vocab[rng.Intn(8)])
+		pts[i] = stream.Point{ID: int64(i), Tokens: toks, Label: stream.NoLabel, Time: float64(i) / 1000}
+	}
+	cfg := Config{Radius: 0.6, Tau: 0.9, InitPoints: 100,
+		EvolutionInterval: 0.25, SweepInterval: 0.2}
+
+	ref, refSnaps := batchRun(t, cfg, pts, 50, 600)
+	ck, ckSnaps := checkpointRun(t, cfg, pts, 50, 600, 600)
+	compareSnapshots(t, ckSnaps, refSnaps)
+	compareCells(t, ck, ref)
+	compareEvents(t, ck.Events(), ref.Events())
+}
+
+// TestCheckpointConfigMismatch asserts a checkpoint refuses to restore
+// under a different configuration instead of silently diverging.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	pts := burstyStream(9, 800, 2, 0.2)
+	cfg := Config{Radius: 0.8, Tau: 2.5, InitPoints: 200,
+		EvolutionInterval: 0.25, SweepInterval: 0.2}
+	e, _ := batchRun(t, cfg, pts, 100, 400)
+
+	var buf bytes.Buffer
+	if err := e.EncodeCheckpoint(&buf); err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	other := cfg
+	other.Radius = 0.9
+	if _, err := DecodeCheckpoint(other, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("DecodeCheckpoint accepted a checkpoint written under a different radius")
+	}
+}
+
+// TestCheckpointCorruption asserts a flipped payload byte is caught by
+// the CRC and a truncated checkpoint is caught by the length prefix —
+// recovery must never build an engine from damaged state.
+func TestCheckpointCorruption(t *testing.T) {
+	pts := burstyStream(13, 800, 2, 0.2)
+	cfg := Config{Radius: 0.8, Tau: 2.5, InitPoints: 200,
+		EvolutionInterval: 0.25, SweepInterval: 0.2}
+	e, _ := batchRun(t, cfg, pts, 100, 400)
+
+	var buf bytes.Buffer
+	if err := e.EncodeCheckpoint(&buf); err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	raw := buf.Bytes()
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := DecodeCheckpoint(cfg, bytes.NewReader(flipped)); err == nil {
+		t.Fatal("DecodeCheckpoint accepted a corrupted payload")
+	}
+
+	for _, cut := range []int{4, 19, len(raw) / 2, len(raw) - 1} {
+		if _, err := DecodeCheckpoint(cfg, bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("DecodeCheckpoint accepted a checkpoint truncated to %d bytes", cut)
+		}
+	}
+}

@@ -62,6 +62,12 @@ type coalescer struct {
 	// events and wake long-pollers).
 	onFlush func()
 
+	// dur, when non-nil, is the durability subsystem: every gathered
+	// batch is appended to the WAL and fsynced before it reaches the
+	// engine, and committed point counts drive the checkpoint cadence.
+	// Owned by the writer goroutine, like the clusterer.
+	dur *durability
+
 	// Telemetry: batch size in points, requests per batch, queue wait
 	// of the oldest request in each batch, and totals.
 	batchSize    *obs.Sample
@@ -244,8 +250,20 @@ func (co *coalescer) flush() {
 	}
 	co.pending.Add(-int64(len(co.reqs)))
 
-	acks, err := co.c.InsertBatchAssigned(co.pts, co.acks[:0])
-	co.acks = acks
+	// Durable-before-acknowledged: the batch must be on the log (and,
+	// unless WALNoSync, on disk) before the engine applies it and any
+	// client sees a 200. A WAL failure fails the whole batch without
+	// touching the engine — no client is ever acknowledged for points
+	// that would not survive a crash.
+	var acks []int64
+	var err error
+	if co.dur != nil {
+		err = co.dur.appendBatch(co.pts)
+	}
+	if err == nil {
+		acks, err = co.c.InsertBatchAssigned(co.pts, co.acks[:0])
+		co.acks = acks
+	}
 
 	co.batches.Inc()
 	co.batchSize.Observe(float64(len(co.pts)))
@@ -253,6 +271,9 @@ func (co *coalescer) flush() {
 	co.batchWait.Observe(time.Since(oldest))
 	if err == nil {
 		co.pointsTotal.Add(uint64(len(co.pts)))
+		if co.dur != nil {
+			co.dur.noteCommitted(co.c, len(co.pts))
+		}
 	}
 
 	off := 0

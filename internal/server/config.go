@@ -63,6 +63,28 @@ type Config struct {
 	// MaxBodyBytes caps the size of a request body. Zero means the
 	// default 8 MiB; negative is invalid.
 	MaxBodyBytes int64
+	// DataDir enables durability: when non-empty, every coalesced
+	// ingest batch is appended to a write-ahead log in this directory
+	// and fsynced before it is committed and acknowledged, so an HTTP
+	// 200 means the points survive a crash. On startup the server
+	// recovers the engine from the newest checkpoint plus the log tail.
+	// Empty (the default) serves purely in memory.
+	DataDir string
+	// WALSegmentBytes is the WAL's segment rotation threshold. Zero
+	// means the log's default (64 MiB); negative is invalid. Ignored
+	// without DataDir.
+	WALSegmentBytes int64
+	// WALNoSync disables the fsync-before-ack: acknowledged batches
+	// reach the kernel but may be lost in a crash (the log is still
+	// written and recovery still works over what survived). A
+	// throughput escape hatch, not a default. Ignored without DataDir.
+	WALNoSync bool
+	// CheckpointEvery is how many committed points may pass between
+	// engine checkpoints into the WAL; smaller means faster recovery,
+	// larger means less checkpoint I/O. A final checkpoint is also
+	// taken at graceful shutdown. Zero means the default 50000;
+	// negative is invalid. Ignored without DataDir.
+	CheckpointEvery int
 }
 
 // Defaults.
@@ -73,6 +95,7 @@ const (
 	defaultMaxPending      = 1024
 	defaultLongPollTimeout = 30 * time.Second
 	defaultMaxBodyBytes    = 8 << 20
+	defaultCheckpointEvery = 50000
 )
 
 // withDefaults returns a copy with defaults filled in. CoalesceWindow
@@ -94,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = defaultCheckpointEvery
 	}
 	return c
 }
@@ -131,6 +157,15 @@ func (c Config) Validate() error {
 		if _, _, err := net.SplitHostPort(c.Addr); err != nil {
 			return fmt.Errorf("server: Addr %q is not a host:port listen address: %w", c.Addr, err)
 		}
+	}
+	if c.WALSegmentBytes < 0 {
+		return fmt.Errorf("server: WALSegmentBytes must be non-negative (0 means the WAL default), got %d", c.WALSegmentBytes)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("server: CheckpointEvery must be non-negative (0 means the default %d), got %d", defaultCheckpointEvery, c.CheckpointEvery)
+	}
+	if c.DataDir == "" && c.WALNoSync {
+		return fmt.Errorf("server: WALNoSync is set but DataDir is empty — there is no WAL to skip syncing")
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"github.com/densitymountain/edmstream"
 	"github.com/densitymountain/edmstream/internal/obs"
+	"github.com/densitymountain/edmstream/internal/wal"
 )
 
 // Server serves one Clusterer over HTTP. Create it with New, start it
@@ -29,6 +30,7 @@ type Server struct {
 	cfg Config
 
 	coal *coalescer
+	dur  *durability
 	reg  *obs.Registry
 	mux  *http.ServeMux
 	http *http.Server
@@ -71,6 +73,14 @@ type Server struct {
 // New builds a server for the given clusterer. The clusterer must
 // already be constructed (its Options validated by edmstream.New);
 // cfg is validated here.
+//
+// When cfg.DataDir is set, New also recovers the clusterer from the
+// write-ahead log in that directory — newest valid checkpoint plus the
+// log tail replayed through the normal batch-ingest path — before any
+// serving state (stream shape, event cursor) is derived from it. The
+// clusterer should be freshly constructed in that case: recovery
+// rebuilds the acknowledged state, and points fed in beforehand would
+// make the recovered stream diverge from the log.
 func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -84,7 +94,15 @@ func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 		drainCh:  make(chan struct{}),
 		serveErr: make(chan error, 1),
 	}
+	if cfg.DataDir != "" {
+		dur, err := openDurability(c, cfg, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		s.dur = dur
+	}
 	s.coal = newCoalescer(c, cfg, s.reg)
+	s.coal.dur = s.dur
 	s.coal.onFlush = s.flushHook
 	_, s.eventCursor = c.EventsSince(^uint64(0))
 	// A pre-fed clusterer that already published a snapshot fixes the
@@ -223,7 +241,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// break the "acknowledged implies applied" contract.
 		<-s.coal.done
 	}
+	if s.dur != nil {
+		// The writer goroutine has exited (or never ran), so the final
+		// checkpoint and close are race-free. Every acknowledged batch
+		// is already on disk — the checkpoint only shortens the next
+		// boot's replay.
+		if err := s.dur.close(s.c); err != nil && httpErr == nil {
+			httpErr = err
+		}
+	}
 	return httpErr
+}
+
+// RecoveryInfo reports what the durability subsystem found and
+// recovered at startup. Meaningful only when the server was configured
+// with a DataDir; the zero value otherwise.
+func (s *Server) RecoveryInfo() wal.RecoveryInfo {
+	if s.dur == nil {
+		return wal.RecoveryInfo{}
+	}
+	return s.dur.recovery
 }
 
 // streamNow returns the server's stream clock: seconds since start.
@@ -450,11 +487,39 @@ type statsResponse struct {
 }
 
 type serverStats struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	StreamTime    float64        `json:"stream_time"`
-	Tau           float64        `json:"tau"`
-	Draining      bool           `json:"draining"`
-	Coalescer     coalescerStats `json:"coalescer"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	StreamTime    float64          `json:"stream_time"`
+	Tau           float64          `json:"tau"`
+	Draining      bool             `json:"draining"`
+	Coalescer     coalescerStats   `json:"coalescer"`
+	Durability    *durabilityStats `json:"durability,omitempty"`
+}
+
+// durabilityStats is the WAL section of GET /v1/stats, present only
+// when the server runs with a DataDir. Counters come from the obs
+// instruments the writer goroutine maintains; the recovery block is
+// frozen at startup.
+type durabilityStats struct {
+	Records          uint64  `json:"records"`
+	Bytes            uint64  `json:"bytes"`
+	Checkpoints      uint64  `json:"checkpoints"`
+	CheckpointErrors uint64  `json:"checkpoint_errors"`
+	Segments         int64   `json:"segments"`
+	NoSync           bool    `json:"no_sync"`
+	FsyncP50Sec      float64 `json:"fsync_p50_seconds"`
+	FsyncP99Sec      float64 `json:"fsync_p99_seconds"`
+
+	Recovery recoveryStats `json:"recovery"`
+}
+
+type recoveryStats struct {
+	HasCheckpoint      bool   `json:"has_checkpoint"`
+	CheckpointSeq      uint64 `json:"checkpoint_seq"`
+	CheckpointsSkipped int    `json:"checkpoints_skipped"`
+	RecordsReplayed    int    `json:"records_replayed"`
+	DroppedBytes       int64  `json:"dropped_bytes"`
+	DroppedSegments    int    `json:"dropped_segments"`
+	TruncatedSegment   string `json:"truncated_segment,omitempty"`
 }
 
 type coalescerStats struct {
@@ -498,6 +563,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				BatchWaitP99Sec:  wait.P99,
 			},
 		},
+	}
+	if d := s.dur; d != nil {
+		fs := d.fsync.Stats()
+		resp.Server.Durability = &durabilityStats{
+			Records:          d.records.Value(),
+			Bytes:            d.bytesTotal.Value(),
+			Checkpoints:      d.checkpoints.Value(),
+			CheckpointErrors: d.ckptErrors.Value(),
+			Segments:         d.segments.Value(),
+			NoSync:           s.cfg.WALNoSync,
+			FsyncP50Sec:      fs.P50,
+			FsyncP99Sec:      fs.P99,
+			Recovery: recoveryStats{
+				HasCheckpoint:      d.recovery.HasCheckpoint,
+				CheckpointSeq:      d.recovery.CheckpointSeq,
+				CheckpointsSkipped: d.recovery.CheckpointsSkipped,
+				RecordsReplayed:    d.recovery.RecordsReplayable,
+				DroppedBytes:       d.recovery.DroppedBytes,
+				DroppedSegments:    d.recovery.DroppedSegments,
+				TruncatedSegment:   d.recovery.TruncatedSegment,
+			},
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,82 @@
+// Package wal implements the durability subsystem: a segmented,
+// CRC-checked, length-prefixed write-ahead log of acknowledged ingest
+// batches plus snapshot checkpoints of the engine state. The serving
+// daemon appends every coalesced batch before committing it to the
+// engine and fsyncs before acknowledging, so an HTTP 200 means the
+// batch survives a crash; recovery loads the newest valid checkpoint
+// and replays the log tail through the normal ingest path, which —
+// because the engine is deterministic — rebuilds a state
+// byte-identical to an uninterrupted run.
+//
+// The on-disk layout of a WAL directory:
+//
+//	wal-<seq16hex>.log    log segments; the hex is the sequence
+//	                      number of the segment's first record
+//	ckpt-<seq16hex>.ckpt  checkpoints; the hex is the first sequence
+//	                      number NOT covered by the checkpoint
+//	*.tmp                 in-flight checkpoint writes (removed at open)
+//
+// Both record and checkpoint payloads are opaque to this package.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the log runs on. Production uses the
+// operating system (OSFS); the fault-injection harness (FaultFS)
+// wraps it to deliver torn writes, short writes and errors at the Nth
+// operation, which is how the crash-consistency tests drive the
+// recovery paths without real crashes.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory in name order.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Truncate cuts the named file to the given size.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making entry
+	// creations/renames/removals durable.
+	SyncDir(name string) error
+}
+
+// File is the per-file surface the log needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// OSFS is the real operating-system filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OSFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                 { return os.Remove(name) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) Truncate(name string, size int64) error   { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

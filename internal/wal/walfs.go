@@ -1,0 +1,193 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the default error a FaultFS fault surfaces.
+var ErrInjected = errors.New("wal: injected fault")
+
+// Fault describes one injected failure: the Nth operation of the given
+// kind fails. A torn write still writes the first Torn bytes before
+// reporting the error, modeling a crash mid-write; Sticky makes every
+// subsequent matching operation fail too, modeling a dead disk (or the
+// tail of a process that never got to run again).
+type Fault struct {
+	// Op is the operation kind to fail: "write", "sync", "create",
+	// "rename", "remove", "truncate" or "syncdir".
+	Op string
+	// After is how many matching operations succeed before the fault
+	// fires (0 fails the first one).
+	After int
+	// Torn, for write faults, is the number of bytes actually written
+	// by the failing call before the error (a torn write). Negative
+	// writes nothing (a clean error).
+	Torn int
+	// Err is the error to return; nil means ErrInjected.
+	Err error
+	// Sticky keeps the fault armed after it fires.
+	Sticky bool
+}
+
+// FaultFS wraps an FS and injects failures. It is the fault harness of
+// the crash-consistency test suite: the log cannot tell it from a real
+// filesystem, so every recovery path can be driven deterministically.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	fault  *Fault
+	counts map[string]int
+	fired  bool
+}
+
+// NewFaultFS wraps inner (nil means the OS filesystem).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner, counts: map[string]int{}}
+}
+
+// Inject arms a fault, replacing any previous one and resetting the
+// operation counters.
+func (f *FaultFS) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fault = &fault
+	f.counts = map[string]int{}
+	f.fired = false
+}
+
+// Clear disarms the current fault.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fault = nil
+	f.fired = false
+}
+
+// Fired reports whether the armed fault has fired at least once.
+func (f *FaultFS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// check consumes one operation of the given kind and reports whether
+// it must fail (and with what error).
+func (f *FaultFS) check(op string) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fault := f.fault
+	if fault == nil || fault.Op != op {
+		return false, nil
+	}
+	n := f.counts[op]
+	f.counts[op] = n + 1
+	if n < fault.After || (f.fired && !fault.Sticky) {
+		return false, nil
+	}
+	f.fired = true
+	err := fault.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	return true, err
+}
+
+// tornBytes returns the armed fault's Torn budget (write faults only).
+func (f *FaultFS) tornBytes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fault == nil {
+		return 0
+	}
+	return f.fault.Torn
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		if fail, err := f.check("create"); fail {
+			return nil, err
+		}
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if fail, err := f.check("rename"); fail {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if fail, err := f.check("remove"); fail {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if fail, err := f.check("truncate"); fail {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if fail, err := f.check("syncdir"); fail {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if fail, err := f.fs.check("write"); fail {
+		// A torn write: part of the buffer reaches the file before the
+		// "crash". The caller sees the error; the bytes are on disk for
+		// the next recovery to trip over.
+		if torn := f.fs.tornBytes(); torn > 0 {
+			n := torn
+			if n > len(p) {
+				n = len(p)
+			}
+			written, werr := f.inner.Write(p[:n])
+			if werr != nil {
+				return written, werr
+			}
+			return written, err
+		}
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if fail, err := f.fs.check("sync"); fail {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
