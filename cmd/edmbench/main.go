@@ -7,7 +7,7 @@
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
 //	             ablation, index, throughput, serve, parallel, e2e,
-//	             wal, all
+//	             wal, overload, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -33,15 +33,24 @@ var (
 	parallelJSON   string
 	e2eJSON        string
 	walJSON        string
+	overloadJSON   string
 	minSpeedup     float64
 )
 
 func main() {
-	// The wal experiment's kill-and-restart drill re-execs this binary
-	// as its durable serving child; divert before flag parsing.
+	// The wal kill-and-restart drill and the overload drill re-exec
+	// this binary as their durable serving children; divert before
+	// flag parsing.
 	if os.Getenv("EDMBENCH_WAL_CHILD") == "1" {
 		if err := bench.RunWALChild(); err != nil {
 			fmt.Fprintf(os.Stderr, "edmbench: wal child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if os.Getenv("EDMBENCH_OVERLOAD_CHILD") == "1" {
+		if err := bench.RunOverloadChild(); err != nil {
+			fmt.Fprintf(os.Stderr, "edmbench: overload child: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -59,6 +68,8 @@ func main() {
 		"path of the machine-readable artifact the e2e experiment writes (empty disables it)")
 	flag.StringVar(&walJSON, "waljson", "BENCH_wal.json",
 		"path of the machine-readable artifact the wal experiment writes (empty disables it)")
+	flag.StringVar(&overloadJSON, "overloadjson", "BENCH_overload.json",
+		"path of the machine-readable artifact the overload drill writes (empty disables it)")
 	flag.Float64Var(&minSpeedup, "minspeedup", 0,
 		"fail the parallel experiment when the 4-worker speedup falls below this ratio (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Usage = usage
@@ -112,6 +123,12 @@ experiments:
             child mid-traffic, restart it on the same WAL directory and
             require byte-identical recovery of every acknowledged point
             (writes the machine-readable BENCH_wal.json artifact)
+  overload  resilience: drive a durable serving child at 4x its (fault-
+            injected slow-disk) capacity while the disk dies and heals;
+            require clean 429/503 shedding with Retry-After, automatic
+            degraded-mode entry and recovery, and exact survival of
+            every acknowledged point across a drain and restart (writes
+            the machine-readable BENCH_overload.json artifact)
   all       run every experiment
 
 flags:
@@ -308,8 +325,20 @@ func run(id string, s bench.Scale) error {
 			}
 			fmt.Printf("wrote %s\n", walJSON)
 		}
+	case "overload":
+		rep, err := bench.RunOverload(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatOverload(rep))
+		if overloadJSON != "" {
+			if err := bench.WriteOverloadJSON(overloadJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", overloadJSON)
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e", "wal"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e", "wal", "overload"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

@@ -59,6 +59,14 @@ type cliConfig struct {
 	walSegmentBytes int64
 	walNoSync       bool
 	checkpointEvery int
+
+	readTimeout      time.Duration
+	writeTimeout     time.Duration
+	idleTimeout      time.Duration
+	ingestDeadline   time.Duration
+	readConcurrency  int
+	probeInterval    time.Duration
+	walRetryAttempts int
 }
 
 func registerFlags(fs *flag.FlagSet, c *cliConfig) {
@@ -81,6 +89,13 @@ func registerFlags(fs *flag.FlagSet, c *cliConfig) {
 	fs.Int64Var(&c.walSegmentBytes, "wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 64 MiB)")
 	fs.BoolVar(&c.walNoSync, "wal-nosync", false, "skip the fsync-before-ack (throughput mode; acknowledged data may be lost in a crash)")
 	fs.IntVar(&c.checkpointEvery, "checkpoint-every", 0, "points committed between engine checkpoints into the WAL (0 = default 50000)")
+	fs.DurationVar(&c.readTimeout, "read-timeout", 0, "max time to read one request (0 = default 30s)")
+	fs.DurationVar(&c.writeTimeout, "write-timeout", 0, "max time to write one response; must exceed -longpoll-timeout (0 = longpoll-timeout + 30s)")
+	fs.DurationVar(&c.idleTimeout, "idle-timeout", 0, "max keep-alive idle time per connection (0 = default 2m)")
+	fs.DurationVar(&c.ingestDeadline, "ingest-deadline", 0, "max queue-admission wait before an ingest request is shed with 429 (0 = default 5s)")
+	fs.IntVar(&c.readConcurrency, "read-concurrency", 0, "max concurrent data-plane reads before 429 shedding (0 = default 256)")
+	fs.DurationVar(&c.probeInterval, "degraded-probe-interval", 0, "how often a degraded server probes the WAL for recovery (0 = default 1s)")
+	fs.IntVar(&c.walRetryAttempts, "wal-retry-attempts", 0, "durable-append attempts before the server degrades to read-only (0 = default 3)")
 }
 
 // buildOptions maps the flags to library options. Validation happens
@@ -111,6 +126,14 @@ func buildServerConfig(c cliConfig) server.Config {
 		WALSegmentBytes: c.walSegmentBytes,
 		WALNoSync:       c.walNoSync,
 		CheckpointEvery: c.checkpointEvery,
+
+		ReadTimeout:           c.readTimeout,
+		WriteTimeout:          c.writeTimeout,
+		IdleTimeout:           c.idleTimeout,
+		IngestDeadline:        c.ingestDeadline,
+		MaxReadConcurrency:    c.readConcurrency,
+		DegradedProbeInterval: c.probeInterval,
+		WALRetryAttempts:      c.walRetryAttempts,
 	}
 }
 

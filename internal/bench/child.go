@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// benchChild is a re-exec'd copy of the current binary serving as a
+// drill's real child process (the wal kill-and-restart drill and the
+// overload drill both use one). The child signals readiness by
+// atomically writing its bound address to a file — for the durable
+// drills that write happens only after recovery completed, so the
+// parent's poll on the file doubles as a recovery barrier.
+type benchChild struct {
+	cmd  *exec.Cmd
+	addr string
+	// wait receives cmd.Wait's result exactly once.
+	wait chan error
+}
+
+// startBenchChild re-execs exe with the given environment appended to
+// the parent's, then waits for the address file to appear.
+func startBenchChild(exe string, env []string, addrFile string) (*benchChild, error) {
+	_ = os.Remove(addrFile)
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("bench: starting child: %w", err)
+	}
+	ch := &benchChild{cmd: cmd, wait: make(chan error, 1)}
+	go func() { ch.wait <- cmd.Wait() }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			ch.addr = string(raw)
+			return ch, nil
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			<-ch.wait
+			return nil, errors.New("bench: child did not report an address within 30s")
+		}
+		select {
+		case err := <-ch.wait:
+			return nil, fmt.Errorf("bench: child exited before binding: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// publishAddr atomically writes a child's bound address to the file
+// the parent polls (write-then-rename: the parent never reads a torn
+// file).
+func publishAddr(addrFile, addr string) error {
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, addrFile)
+}

@@ -251,13 +251,11 @@ func RunE2E(s Scale) (E2EReport, error) {
 	}
 
 	// Warm-up through the same network path (single writer, ordered).
+	// The shared shed-retry helper absorbs any 429/503 the server
+	// emits before it settles; transport errors stay fatal.
 	for b := 0; b < warmupBatches; b++ {
-		resp, err := post("/v1/ingest", bodies[b])
-		if err != nil {
+		if _, err := postShedRetry(client, base+"/v1/ingest", bodies[b], 4, 10*time.Millisecond, time.Second, nil); err != nil {
 			return E2EReport{}, fmt.Errorf("bench: warm-up ingest: %w", err)
-		}
-		if err := drainOK(resp, "warm-up ingest"); err != nil {
-			return E2EReport{}, err
 		}
 	}
 

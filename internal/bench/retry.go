@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Shared HTTP retry/backoff for the experiments' clients (the e2e
+// warm-up, the wal drill and the overload drill). The retry contract
+// is deliberately narrow: only clean shed responses — 429/503, where
+// the server definitively committed nothing — are retried, honoring
+// the Retry-After hint when present. Transport errors are returned
+// immediately: a lost response leaves the commit ambiguous, and the
+// drills' exact acked-points accounting cannot tolerate a blind
+// replay that might duplicate a batch.
+
+// shedReply is a parsed 429/503 rejection: the machine-readable
+// reason and retry hint the server attaches to every shed.
+type shedReply struct {
+	Status            int
+	Reason            string
+	RetryAfterSeconds int
+}
+
+// parseShed classifies one response, returning nil for anything that
+// is not a shed status. The hint is read from the Retry-After header
+// with the JSON body's retry_after_seconds as fallback.
+func parseShed(status int, header http.Header, body []byte) *shedReply {
+	if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		return nil
+	}
+	s := &shedReply{Status: status}
+	if ra, err := strconv.Atoi(header.Get("Retry-After")); err == nil {
+		s.RetryAfterSeconds = ra
+	}
+	var payload struct {
+		Reason            string `json:"reason"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if json.Unmarshal(body, &payload) == nil {
+		s.Reason = payload.Reason
+		if s.RetryAfterSeconds == 0 {
+			s.RetryAfterSeconds = payload.RetryAfterSeconds
+		}
+	}
+	return s
+}
+
+// backoffDelay is the jittered exponential backoff every bench client
+// shares: base doubled per attempt, capped at max, jittered into
+// [d/2, d] so synchronized clients decorrelate. A nil rng falls back
+// to the goroutine-safe global source.
+func backoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	jitter := int64(d/2) + 1
+	if rng != nil {
+		return d/2 + time.Duration(rng.Int63n(jitter))
+	}
+	return d/2 + time.Duration(rand.Int63n(jitter))
+}
+
+// doPost issues one POST of a pre-rendered JSON body and drains the
+// response, returning status, headers and body.
+func doPost(client *http.Client, url string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, raw, nil
+}
+
+// postShedRetry POSTs until a 200, retrying shed responses with the
+// shared backoff (preferring the server's Retry-After hint when it is
+// under the cap) and failing on anything else. Returns the 200 body.
+func postShedRetry(client *http.Client, url string, body []byte, attempts int, base, max time.Duration, rng *rand.Rand) ([]byte, error) {
+	var last *shedReply
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := backoffDelay(attempt, base, max, rng)
+			if last != nil && last.RetryAfterSeconds > 0 {
+				if hint := time.Duration(last.RetryAfterSeconds) * time.Second; hint > delay && hint <= max {
+					delay = hint
+				}
+			}
+			time.Sleep(delay)
+		}
+		status, header, raw, err := doPost(client, url, body)
+		if err != nil {
+			return nil, err
+		}
+		if status == http.StatusOK {
+			return raw, nil
+		}
+		if shed := parseShed(status, header, raw); shed != nil {
+			last = shed
+			continue
+		}
+		return nil, fmt.Errorf("bench: %s status %d: %s", url, status, raw)
+	}
+	return nil, fmt.Errorf("bench: %s still shed after %d attempts (last: %d %s)", url, attempts, last.Status, last.Reason)
+}
+
+// getShedRetry GETs until a 200 with the same shed-only retry rule.
+func getShedRetry(client *http.Client, url string, attempts int, base, max time.Duration, rng *rand.Rand) ([]byte, error) {
+	var last *shedReply
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoffDelay(attempt, base, max, rng))
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return raw, nil
+		}
+		if shed := parseShed(resp.StatusCode, resp.Header, raw); shed != nil {
+			last = shed
+			continue
+		}
+		return nil, fmt.Errorf("bench: %s status %d: %s", url, resp.StatusCode, raw)
+	}
+	return nil, fmt.Errorf("bench: %s still shed after %d attempts (last: %d %s)", url, attempts, last.Status, last.Reason)
+}
+
+// waitUntil polls cond every interval until it reports done, the
+// condition errors, or the timeout passes.
+func waitUntil(timeout, every time.Duration, what string, cond func() (bool, error)) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done, err := cond()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(every)
+	}
+}

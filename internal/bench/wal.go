@@ -6,10 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
-	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -123,42 +121,18 @@ func walOptions(rate float64) edmstream.Options {
 }
 
 // walPost sends one pre-rendered ingest body and requires a 200.
+// Shed responses retry through the shared backoff helper; transport
+// errors stay immediate, which is what lets the kill drill see the
+// SIGKILL as a failed request instead of replaying (and duplicating)
+// an ambiguous batch.
 func walPost(client *http.Client, base string, body []byte) error {
-	req, err := http.NewRequest("POST", base+"/v1/ingest", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("bench: ingest status %d: %s", resp.StatusCode, raw)
-	}
-	return nil
+	_, err := postShedRetry(client, base+"/v1/ingest", body, 4, 10*time.Millisecond, time.Second, nil)
+	return err
 }
 
 // walGet fetches one endpoint's raw body and requires a 200.
 func walGet(client *http.Client, base, path string) ([]byte, error) {
-	resp, err := client.Get(base + path)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("bench: %s status %d: %s", path, resp.StatusCode, raw)
-	}
-	return raw, nil
+	return getShedRetry(client, base+path, 4, 10*time.Millisecond, time.Second, nil)
 }
 
 // walStatsBody is the slice of GET /v1/stats the experiment consumes
@@ -338,52 +312,18 @@ func runWALThroughput(noSync bool, s Scale, bodies [][]byte, warmupBatches int) 
 	}, nil
 }
 
-// walChild is a running kill-and-restart child process.
-type walChild struct {
-	cmd  *exec.Cmd
-	addr string
-	// wait receives cmd.Wait's result exactly once.
-	wait chan error
-}
-
 // startWALChild re-execs this binary in child mode on the given WAL
 // directory and waits for it to report its bound address. The child
 // writes the addr file only after server.New returns — that is, after
 // recovery — so a returned child has finished recovering.
-func startWALChild(exe, dataDir, addrFile string, rate float64) (*walChild, error) {
-	_ = os.Remove(addrFile)
-	cmd := exec.Command(exe)
-	cmd.Env = append(os.Environ(),
-		walChildEnv+"=1",
-		"EDMBENCH_WAL_DIR="+dataDir,
-		"EDMBENCH_WAL_ADDR_FILE="+addrFile,
+func startWALChild(exe, dataDir, addrFile string, rate float64) (*benchChild, error) {
+	return startBenchChild(exe, []string{
+		walChildEnv + "=1",
+		"EDMBENCH_WAL_DIR=" + dataDir,
+		"EDMBENCH_WAL_ADDR_FILE=" + addrFile,
 		fmt.Sprintf("EDMBENCH_WAL_RATE=%g", rate),
 		fmt.Sprintf("EDMBENCH_WAL_CHECKPOINT_EVERY=%d", walCheckpointEvery),
-	)
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("bench: starting wal child: %w", err)
-	}
-	ch := &walChild{cmd: cmd, wait: make(chan error, 1)}
-	go func() { ch.wait <- cmd.Wait() }()
-
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
-			ch.addr = string(raw)
-			return ch, nil
-		}
-		if time.Now().After(deadline) {
-			_ = cmd.Process.Kill()
-			<-ch.wait
-			return nil, errors.New("bench: wal child did not report an address within 30s")
-		}
-		select {
-		case err := <-ch.wait:
-			return nil, fmt.Errorf("bench: wal child exited before binding: %v", err)
-		case <-time.After(20 * time.Millisecond):
-		}
-	}
+	}, addrFile)
 }
 
 // runWALKill is the crash drill: SIGKILL a durable child mid-traffic,
@@ -583,13 +523,7 @@ func RunWALChild() error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	// Atomic publish of the address: the parent never reads a torn
-	// file.
-	tmp := addrFile + ".tmp"
-	if err := os.WriteFile(tmp, []byte(srv.Addr()), 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, addrFile); err != nil {
+	if err := publishAddr(addrFile, srv.Addr()); err != nil {
 		return err
 	}
 

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -68,15 +69,27 @@ type coalescer struct {
 	// Owned by the writer goroutine, like the clusterer.
 	dur *durability
 
+	// deg, when non-nil, is the server's degraded-mode state machine:
+	// an exhausted WAL retry budget flips it on (failing the batch and
+	// everything queued behind it with errDegraded), and the probe
+	// ticker below flips it back off once the log recovers.
+	deg *degradedState
+	// probeEvery is the degraded-mode recovery probe cadence; zero
+	// disables the ticker (servers without durability).
+	probeEvery time.Duration
+
 	// Telemetry: batch size in points, requests per batch, queue wait
-	// of the oldest request in each batch, and totals.
-	batchSize    *obs.Sample
-	batchReqs    *obs.Sample
-	batchWait    obs.Timing
-	batches      *obs.Counter
-	pointsTotal  *obs.Counter
-	pending      *obs.Gauge
-	rejectsTotal *obs.Counter
+	// of the oldest request in each batch, successful flush latency
+	// (the admission estimator's service-time input), and totals.
+	batchSize     *obs.Sample
+	batchReqs     *obs.Sample
+	batchWait     obs.Timing
+	flushSeconds  obs.Timing
+	batches       *obs.Counter
+	pointsTotal   *obs.Counter
+	pending       *obs.Gauge
+	rejectsTotal  *obs.Counter
+	clientCancels *obs.Counter
 
 	// Reused across batches so a steady-state flush does not allocate
 	// for the concatenation.
@@ -87,19 +100,21 @@ type coalescer struct {
 
 func newCoalescer(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) *coalescer {
 	return &coalescer{
-		c:            c,
-		queue:        make(chan *ingestReq, cfg.MaxPending),
-		window:       cfg.CoalesceWindow,
-		maxBatch:     cfg.MaxBatch,
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
-		batchSize:    reg.Sample("edmserved_coalescer_batch_points", ""),
-		batchReqs:    reg.Sample("edmserved_coalescer_batch_requests", ""),
-		batchWait:    reg.Timing("edmserved_coalescer_batch_wait_seconds", ""),
-		batches:      reg.Counter("edmserved_coalescer_batches_total", ""),
-		pointsTotal:  reg.Counter("edmserved_coalescer_points_total", ""),
-		pending:      reg.Gauge("edmserved_coalescer_pending_requests", ""),
-		rejectsTotal: reg.Counter("edmserved_coalescer_rejects_total", ""),
+		c:             c,
+		queue:         make(chan *ingestReq, cfg.MaxPending),
+		window:        cfg.CoalesceWindow,
+		maxBatch:      cfg.MaxBatch,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+		batchSize:     reg.Sample("edmserved_coalescer_batch_points", ""),
+		batchReqs:     reg.Sample("edmserved_coalescer_batch_requests", ""),
+		batchWait:     reg.Timing("edmserved_coalescer_batch_wait_seconds", ""),
+		flushSeconds:  reg.Timing("edmserved_coalescer_flush_seconds", ""),
+		batches:       reg.Counter("edmserved_coalescer_batches_total", ""),
+		pointsTotal:   reg.Counter("edmserved_coalescer_points_total", ""),
+		pending:       reg.Gauge("edmserved_coalescer_pending_requests", ""),
+		rejectsTotal:  reg.Counter("edmserved_coalescer_rejects_total", ""),
+		clientCancels: reg.Counter("edmserved_coalescer_client_cancels_total", ""),
 	}
 }
 
@@ -125,6 +140,12 @@ func (co *coalescer) submit(ctx context.Context, pts []edmstream.Point) ([]int64
 		co.rejectsTotal.Inc()
 		return nil, errDraining
 	case <-ctx.Done():
+		// A cancelled enqueue commits nothing; count the client-gone
+		// case separately from deadline sheds so the operator can tell
+		// impatient clients from an overloaded queue.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			co.clientCancels.Inc()
+		}
 		return nil, ctx.Err()
 	}
 	// Once queued, the request is serviced even if the client goes
@@ -157,6 +178,16 @@ func (co *coalescer) run() {
 			timer.Stop()
 		}
 	}()
+	// The degraded-mode recovery probe shares the writer goroutine (the
+	// WAL has a single owner), waking on a ticker while the loop would
+	// otherwise sit idle — exactly the state a degraded server is in,
+	// since ingest is refused at the door.
+	var probeC <-chan time.Time
+	if co.dur != nil && co.probeEvery > 0 {
+		ticker := time.NewTicker(co.probeEvery)
+		defer ticker.Stop()
+		probeC = ticker.C
+	}
 	for {
 		var first *ingestReq
 		if co.carry != nil {
@@ -164,6 +195,9 @@ func (co *coalescer) run() {
 		} else {
 			select {
 			case first = <-co.queue:
+			case <-probeC:
+				co.probe()
+				continue
 			case <-co.stop:
 				co.drain()
 				return
@@ -178,6 +212,41 @@ func (co *coalescer) run() {
 		default:
 		}
 	}
+}
+
+// probe attempts automatic recovery from degraded mode: reopen the WAL
+// directory (recovery repairs whatever the failure left) and prove it
+// writable with a fresh checkpoint of the current engine state — which
+// also supersedes any ambiguous tail record a failed append may have
+// landed. Only a full round-trip flips the server back to healthy.
+func (co *coalescer) probe() {
+	if co.deg == nil || co.dur == nil || !co.deg.isDegraded() {
+		return
+	}
+	if co.dur.probe(co.c) {
+		co.deg.exit()
+	}
+}
+
+// estimateWait predicts the commit wait a request admitted now would
+// see: the queued requests ahead of it, in batches of the observed
+// requests-per-batch, each taking the observed flush latency. Called
+// from request goroutines; every input is a lock-free instrument.
+func (co *coalescer) estimateWait() time.Duration {
+	pending := co.pending.Value()
+	if pending <= 0 {
+		return 0
+	}
+	fl := co.flushSeconds.Stats()
+	if fl.WindowCount == 0 {
+		return 0 // no service history yet; the queue-send deadline backstops
+	}
+	reqsPerBatch := co.batchReqs.Stats().P50
+	if reqsPerBatch < 1 {
+		reqsPerBatch = 1
+	}
+	batchesAhead := float64(pending)/reqsPerBatch + 1
+	return time.Duration(batchesAhead * fl.P50 * float64(time.Second))
 }
 
 // gather collects requests for one batch: the triggering request,
@@ -254,11 +323,22 @@ func (co *coalescer) flush() {
 	// unless WALNoSync, on disk) before the engine applies it and any
 	// client sees a 200. A WAL failure fails the whole batch without
 	// touching the engine — no client is ever acknowledged for points
-	// that would not survive a crash.
+	// that would not survive a crash. The retry budget lives inside
+	// appendBatch; exhausting it flips the server into degraded mode,
+	// and batches flushed while degraded fail fast without touching the
+	// sick disk (the probe owns recovery attempts).
+	begin := time.Now()
 	var acks []int64
 	var err error
 	if co.dur != nil {
-		err = co.dur.appendBatch(co.pts)
+		if co.deg != nil && co.deg.isDegraded() {
+			err = errDegraded
+		} else if aerr := co.dur.appendBatch(co.pts); aerr != nil {
+			if co.deg != nil {
+				co.deg.enter(aerr)
+			}
+			err = fmt.Errorf("%w (%v)", errDegraded, aerr)
+		}
 	}
 	if err == nil {
 		acks, err = co.c.InsertBatchAssigned(co.pts, co.acks[:0])
@@ -270,6 +350,10 @@ func (co *coalescer) flush() {
 	co.batchReqs.Observe(float64(len(co.reqs)))
 	co.batchWait.Observe(time.Since(oldest))
 	if err == nil {
+		// Only successful flushes feed the admission estimator: a
+		// degraded fast-fail takes microseconds and would talk the
+		// estimate down exactly when the server cannot serve.
+		co.flushSeconds.Observe(time.Since(begin))
 		co.pointsTotal.Add(uint64(len(co.pts)))
 		if co.dur != nil {
 			co.dur.noteCommitted(co.c, len(co.pts))

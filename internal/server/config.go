@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"github.com/densitymountain/edmstream/internal/wal"
 )
 
 // Config configures the serving daemon. The zero value is usable for
@@ -85,6 +87,49 @@ type Config struct {
 	// taken at graceful shutdown. Zero means the default 50000;
 	// negative is invalid. Ignored without DataDir.
 	CheckpointEvery int
+	// ReadTimeout is the http.Server read timeout: the maximum time to
+	// read a whole request, body included. Zero means the default 30s;
+	// negative is invalid.
+	ReadTimeout time.Duration
+	// WriteTimeout is the http.Server write timeout. It must leave room
+	// for /v1/events long-polls, so when set it has to exceed the
+	// effective LongPollTimeout; zero means the default
+	// LongPollTimeout + 30s. Negative is invalid.
+	WriteTimeout time.Duration
+	// IdleTimeout is how long an idle keep-alive connection is kept
+	// open. Zero means the default 120s; negative is invalid.
+	IdleTimeout time.Duration
+	// IngestDeadline is the ingest admission deadline: a request whose
+	// estimated commit wait (live queue depth times the observed flush
+	// latency) exceeds it is shed with 429 + Retry-After before its
+	// body is read, and a request that cannot enter the coalescer queue
+	// within it is shed with 429 as well. Once admitted a request is
+	// always serviced. Zero means the default 5s; negative is invalid.
+	IngestDeadline time.Duration
+	// MaxReadConcurrency bounds the number of read requests (assign,
+	// snapshot, cluster) served at once; requests beyond it are shed
+	// with 429 instead of piling onto a saturated process. Operator
+	// endpoints (stats, healthz, metrics, events) are exempt so the
+	// server stays observable under load. Zero means the default 256;
+	// negative is invalid.
+	MaxReadConcurrency int
+	// DegradedProbeInterval is how often the writer goroutine, while
+	// the server sits in WAL-failure degraded mode, probes the log
+	// directory (reopen + checkpoint) to recover automatically. Zero
+	// means the default 1s; negative is invalid. Ignored without
+	// DataDir.
+	DegradedProbeInterval time.Duration
+	// WALRetryAttempts is the total number of tries (first attempt
+	// included) a durable batch append gets before the failure flips
+	// the server into degraded mode; between tries the WAL handle is
+	// reopened and recovery repairs any torn tail. Zero means the
+	// default 3; 1 disables retries; negative is invalid. Ignored
+	// without DataDir.
+	WALRetryAttempts int
+	// WALFS is the filesystem the WAL runs on; nil means the real one.
+	// The chaos drill and the fault-injection tests plug a wal.FaultFS
+	// in here. Ignored without DataDir.
+	WALFS wal.FS
 }
 
 // Defaults.
@@ -96,6 +141,14 @@ const (
 	defaultLongPollTimeout = 30 * time.Second
 	defaultMaxBodyBytes    = 8 << 20
 	defaultCheckpointEvery = 50000
+
+	defaultReadTimeout           = 30 * time.Second
+	defaultIdleTimeout           = 120 * time.Second
+	defaultWriteTimeoutSlack     = 30 * time.Second // added to LongPollTimeout
+	defaultIngestDeadline        = 5 * time.Second
+	defaultMaxReadConcurrency    = 256
+	defaultDegradedProbeInterval = time.Second
+	defaultWALRetryAttempts      = 3
 )
 
 // withDefaults returns a copy with defaults filled in. CoalesceWindow
@@ -120,6 +173,30 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = defaultCheckpointEvery
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = defaultReadTimeout
+	}
+	if c.WriteTimeout == 0 {
+		// Long-poll aware: the write deadline starts when the request
+		// headers are read, and an /v1/events response may legitimately
+		// come LongPollTimeout later.
+		c.WriteTimeout = c.LongPollTimeout + defaultWriteTimeoutSlack
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = defaultIdleTimeout
+	}
+	if c.IngestDeadline == 0 {
+		c.IngestDeadline = defaultIngestDeadline
+	}
+	if c.MaxReadConcurrency == 0 {
+		c.MaxReadConcurrency = defaultMaxReadConcurrency
+	}
+	if c.DegradedProbeInterval == 0 {
+		c.DegradedProbeInterval = defaultDegradedProbeInterval
+	}
+	if c.WALRetryAttempts == 0 {
+		c.WALRetryAttempts = defaultWALRetryAttempts
 	}
 	return c
 }
@@ -166,6 +243,38 @@ func (c Config) Validate() error {
 	}
 	if c.DataDir == "" && c.WALNoSync {
 		return fmt.Errorf("server: WALNoSync is set but DataDir is empty — there is no WAL to skip syncing")
+	}
+	if c.ReadTimeout < 0 {
+		return fmt.Errorf("server: ReadTimeout must be non-negative (0 means the default %v), got %v", defaultReadTimeout, c.ReadTimeout)
+	}
+	if c.WriteTimeout < 0 {
+		return fmt.Errorf("server: WriteTimeout must be non-negative (0 means LongPollTimeout + %v), got %v", defaultWriteTimeoutSlack, c.WriteTimeout)
+	}
+	if c.WriteTimeout > 0 {
+		// Compare against the effective long-poll cap so a custom
+		// WriteTimeout cannot silently cut long-polls short.
+		longPoll := c.LongPollTimeout
+		if longPoll == 0 {
+			longPoll = defaultLongPollTimeout
+		}
+		if c.WriteTimeout <= longPoll {
+			return fmt.Errorf("server: WriteTimeout %v must exceed the %v LongPollTimeout or /v1/events long-polls die mid-hold", c.WriteTimeout, longPoll)
+		}
+	}
+	if c.IdleTimeout < 0 {
+		return fmt.Errorf("server: IdleTimeout must be non-negative (0 means the default %v), got %v", defaultIdleTimeout, c.IdleTimeout)
+	}
+	if c.IngestDeadline < 0 {
+		return fmt.Errorf("server: IngestDeadline must be non-negative (0 means the default %v), got %v", defaultIngestDeadline, c.IngestDeadline)
+	}
+	if c.MaxReadConcurrency < 0 {
+		return fmt.Errorf("server: MaxReadConcurrency must be non-negative (0 means the default %d), got %d", defaultMaxReadConcurrency, c.MaxReadConcurrency)
+	}
+	if c.DegradedProbeInterval < 0 {
+		return fmt.Errorf("server: DegradedProbeInterval must be non-negative (0 means the default %v), got %v", defaultDegradedProbeInterval, c.DegradedProbeInterval)
+	}
+	if c.WALRetryAttempts < 0 {
+		return fmt.Errorf("server: WALRetryAttempts must be non-negative (0 means the default %d), got %d", defaultWALRetryAttempts, c.WALRetryAttempts)
 	}
 	return nil
 }

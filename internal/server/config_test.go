@@ -20,6 +20,14 @@ func TestConfigValidate(t *testing.T) {
 		{MaxPending: 1},
 		{LongPollTimeout: time.Second},
 		{MaxBodyBytes: 1 << 10},
+		{ReadTimeout: time.Second},
+		{WriteTimeout: 45 * time.Second}, // clears the default long-poll hold
+		{LongPollTimeout: time.Second, WriteTimeout: 2 * time.Second},
+		{IdleTimeout: time.Minute},
+		{IngestDeadline: time.Millisecond},
+		{MaxReadConcurrency: 1},
+		{DegradedProbeInterval: 10 * time.Millisecond},
+		{WALRetryAttempts: 1},
 	}
 	for i, cfg := range good {
 		if err := cfg.Validate(); err != nil {
@@ -39,6 +47,17 @@ func TestConfigValidate(t *testing.T) {
 		{Config{MaxBodyBytes: -1}, "MaxBodyBytes"},
 		{Config{Addr: "no-port"}, "Addr"},
 		{Config{Addr: "1.2.3.4"}, "Addr"},
+		{Config{ReadTimeout: -time.Second}, "ReadTimeout"},
+		{Config{WriteTimeout: -time.Second}, "WriteTimeout"},
+		// A write timeout inside the long-poll hold would kill every
+		// /v1/events long-poll mid-wait.
+		{Config{WriteTimeout: time.Second}, "WriteTimeout"},
+		{Config{LongPollTimeout: 10 * time.Second, WriteTimeout: 5 * time.Second}, "WriteTimeout"},
+		{Config{IdleTimeout: -time.Second}, "IdleTimeout"},
+		{Config{IngestDeadline: -time.Millisecond}, "IngestDeadline"},
+		{Config{MaxReadConcurrency: -1}, "MaxReadConcurrency"},
+		{Config{DegradedProbeInterval: -time.Second}, "DegradedProbeInterval"},
+		{Config{WALRetryAttempts: -1}, "WALRetryAttempts"},
 	}
 	for i, tc := range bad {
 		err := tc.cfg.Validate()
@@ -66,5 +85,13 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if DefaultConfig().CoalesceWindow != defaultCoalesceWindow {
 		t.Errorf("DefaultConfig window = %v, want %v", DefaultConfig().CoalesceWindow, defaultCoalesceWindow)
+	}
+	if d.ReadTimeout != defaultReadTimeout || d.IdleTimeout != defaultIdleTimeout ||
+		d.IngestDeadline != defaultIngestDeadline || d.MaxReadConcurrency != defaultMaxReadConcurrency ||
+		d.DegradedProbeInterval != defaultDegradedProbeInterval || d.WALRetryAttempts != defaultWALRetryAttempts {
+		t.Errorf("resilience defaults wrong: %+v", d)
+	}
+	if want := d.LongPollTimeout + defaultWriteTimeoutSlack; d.WriteTimeout != want {
+		t.Errorf("WriteTimeout default = %v, want LongPollTimeout + slack = %v", d.WriteTimeout, want)
 	}
 }

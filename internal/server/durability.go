@@ -25,19 +25,22 @@ import (
 // never touch the log: they read the obs instruments and the immutable
 // RecoveryInfo captured at open.
 type durability struct {
-	log       *wal.Log
+	log       *wal.ResilientLog
 	ckptEvery int
 	sinceCkpt int
 	recovery  wal.RecoveryInfo
 	ckptBuf   bytes.Buffer
 
-	fsync       obs.Timing
-	ckptTime    obs.Timing
-	records     *obs.Counter
-	bytesTotal  *obs.Counter
-	checkpoints *obs.Counter
-	ckptErrors  *obs.Counter
-	segments    *obs.Gauge
+	fsync         obs.Timing
+	ckptTime      obs.Timing
+	records       *obs.Counter
+	bytesTotal    *obs.Counter
+	checkpoints   *obs.Counter
+	ckptErrors    *obs.Counter
+	probeFailures *obs.Counter
+	segments      *obs.Gauge
+	retries       *obs.Gauge // mirrors the resilient log's retry count
+	reopens       *obs.Gauge // mirrors the resilient log's reopen count
 	// Recovery outcome, frozen after open (gauges so they export).
 	recoverySeconds  *obs.Gauge
 	recoveredRecords *obs.Gauge
@@ -51,11 +54,12 @@ type durability struct {
 // over the acknowledged prefix.
 func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*durability, error) {
 	begin := time.Now()
-	log, err := wal.Open(wal.Options{
+	log, err := wal.OpenResilient(wal.Options{
 		Dir:          cfg.DataDir,
 		SegmentBytes: cfg.WALSegmentBytes,
 		NoSync:       cfg.WALNoSync,
-	})
+		FS:           cfg.WALFS,
+	}, wal.RetryPolicy{MaxAttempts: cfg.WALRetryAttempts})
 	if err != nil {
 		return nil, fmt.Errorf("server: opening WAL in %s: %w", cfg.DataDir, err)
 	}
@@ -90,7 +94,10 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*dur
 		bytesTotal:       reg.Counter("edmserved_wal_bytes_total", ""),
 		checkpoints:      reg.Counter("edmserved_wal_checkpoints_total", ""),
 		ckptErrors:       reg.Counter("edmserved_wal_checkpoint_errors_total", ""),
+		probeFailures:    reg.Counter("edmserved_wal_probe_failures_total", ""),
 		segments:         reg.Gauge("edmserved_wal_segments", ""),
+		retries:          reg.Gauge("edmserved_wal_append_retries", ""),
+		reopens:          reg.Gauge("edmserved_wal_reopens", ""),
 		recoverySeconds:  reg.Gauge("edmserved_wal_recovery_seconds_x1000", ""),
 		recoveredRecords: reg.Gauge("edmserved_wal_recovered_records", ""),
 		droppedBytes:     reg.Gauge("edmserved_wal_recovery_dropped_bytes", ""),
@@ -102,23 +109,45 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*dur
 	return d, nil
 }
 
-// appendBatch logs one gathered batch and makes it durable. Called on
-// the writer goroutine before the batch reaches the engine; an error
-// means the batch must NOT be committed or acknowledged.
+// appendBatch logs one gathered batch and makes it durable, riding the
+// resilient log's bounded retry-with-backoff loop across transient
+// disk faults. Called on the writer goroutine before the batch reaches
+// the engine; an error means the retry budget is exhausted, the batch
+// must NOT be committed or acknowledged, and the caller flips the
+// server into degraded mode.
 func (d *durability) appendBatch(pts []edmstream.Point) error {
 	payload := encodeBatchRecord(pts)
-	if _, err := d.log.Append(payload); err != nil {
-		return err
-	}
 	begin := time.Now()
-	if err := d.log.Sync(); err != nil {
+	if _, err := d.log.AppendSync(payload); err != nil {
+		d.syncRetryGauges()
 		return err
 	}
 	d.fsync.Observe(time.Since(begin))
 	d.records.Inc()
 	d.bytesTotal.Add(uint64(len(payload)))
 	d.syncSegmentGauge()
+	d.syncRetryGauges()
 	return nil
+}
+
+// probe is one degraded-mode recovery attempt: reopen the WAL
+// directory and prove it writable end to end with a fresh engine
+// checkpoint (which also supersedes any ambiguous tail record the
+// failure left behind, so the log and the engine agree again). Returns
+// true when the server may flip back to healthy.
+func (d *durability) probe(c *edmstream.Clusterer) bool {
+	if err := d.log.Reopen(); err != nil {
+		d.probeFailures.Inc()
+		d.syncRetryGauges()
+		return false
+	}
+	d.syncRetryGauges()
+	if !d.checkpoint(c) {
+		d.probeFailures.Inc()
+		return false
+	}
+	d.sinceCkpt = 0
+	return true
 }
 
 // noteCommitted runs after a batch was committed to the engine; every
@@ -159,6 +188,18 @@ func (d *durability) syncSegmentGauge() {
 	cur := d.log.Stats().Segments
 	if delta := int64(cur) - d.segments.Value(); delta != 0 {
 		d.segments.Add(delta)
+	}
+}
+
+// syncRetryGauges mirrors the resilient log's retry/reopen counters
+// into the registry (gauges, because obs counters only increment by
+// what the caller hands them).
+func (d *durability) syncRetryGauges() {
+	if delta := int64(d.log.Retries()) - d.retries.Value(); delta != 0 {
+		d.retries.Add(delta)
+	}
+	if delta := int64(d.log.Reopens()) - d.reopens.Value(); delta != 0 {
+		d.reopens.Add(delta)
 	}
 }
 

@@ -31,6 +31,8 @@ type Server struct {
 
 	coal *coalescer
 	dur  *durability
+	adm  *admission
+	deg  *degradedState
 	reg  *obs.Registry
 	mux  *http.ServeMux
 	http *http.Server
@@ -101,8 +103,12 @@ func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 		}
 		s.dur = dur
 	}
+	s.adm = newAdmission(cfg, s.reg)
+	s.deg = newDegradedState(s.reg)
 	s.coal = newCoalescer(c, cfg, s.reg)
 	s.coal.dur = s.dur
+	s.coal.deg = s.deg
+	s.coal.probeEvery = cfg.DegradedProbeInterval
 	s.coal.onFlush = s.flushHook
 	_, s.eventCursor = c.EventsSince(^uint64(0))
 	// A pre-fed clusterer that already published a snapshot fixes the
@@ -112,9 +118,12 @@ func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/ingest", "ingest", s.handleIngest)
-	s.route("POST /v1/assign", "assign", s.handleAssign)
-	s.route("GET /v1/snapshot", "snapshot", s.handleSnapshot)
-	s.route("GET /v1/clusters/{id}", "cluster", s.handleCluster)
+	// Data-plane reads sit behind the bounded-concurrency guard; the
+	// operator endpoints (events, stats, healthz, metrics) stay exempt
+	// so an overloaded or degraded server remains observable.
+	s.route("POST /v1/assign", "assign", s.readGuard(s.handleAssign))
+	s.route("GET /v1/snapshot", "snapshot", s.readGuard(s.handleSnapshot))
+	s.route("GET /v1/clusters/{id}", "cluster", s.readGuard(s.handleCluster))
 	s.route("GET /v1/events", "events", s.handleEvents)
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
@@ -122,6 +131,9 @@ func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 	s.http = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout, // validated to exceed LongPollTimeout
+		IdleTimeout:       cfg.IdleTimeout,
 	}
 	return s, nil
 }
@@ -308,8 +320,31 @@ func (s *Server) flushHook() {
 // ---- Handlers ----
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Rejections are checked cheapest-first and before the body is read
+	// — the whole point of shedding is to not spend work on requests
+	// the server cannot serve.
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, errDraining)
+		shedError(w, http.StatusServiceUnavailable, errDraining, reasonDraining, 1)
+		return
+	}
+	if s.deg.isDegraded() {
+		s.adm.shedDegraded.Inc()
+		shedError(w, http.StatusServiceUnavailable, errDegraded, reasonDegraded,
+			retryAfterSeconds(2*s.cfg.DegradedProbeInterval))
+		return
+	}
+	// Admission rule: shed when the estimated commit wait already
+	// exceeds the deadline, telling the client when the queue should
+	// have drained. The estimate is observed either way so the
+	// distribution shows the pressure that led to shedding.
+	est := s.coal.estimateWait()
+	s.adm.estWait.Observe(est.Seconds())
+	if est > s.cfg.IngestDeadline {
+		s.adm.shedEstimate.Inc()
+		shedError(w, http.StatusTooManyRequests,
+			fmt.Errorf("estimated commit wait %v exceeds the %v ingest deadline",
+				est.Round(time.Millisecond), s.cfg.IngestDeadline),
+			reasonOverloaded, retryAfterSeconds(est))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -326,10 +361,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ingestResponse{Accepted: 0, Cells: []int64{}})
 		return
 	}
-	cells, err := s.coal.submit(r.Context(), pts)
+	// The same deadline bounds the queue send, as a context timeout the
+	// coalescer's enqueue select observes — the backstop for a full
+	// queue the estimator had no history to predict.
+	ctx := r.Context()
+	if s.cfg.IngestDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.IngestDeadline)
+		defer cancel()
+	}
+	cells, err := s.coal.submit(ctx, pts)
 	switch {
 	case errors.Is(err, errDraining):
-		httpError(w, http.StatusServiceUnavailable, err)
+		shedError(w, http.StatusServiceUnavailable, err, reasonDraining, 1)
+		return
+	case errors.Is(err, errDegraded):
+		// The batch hit the WAL failure after this request was queued.
+		s.adm.shedDegraded.Inc()
+		shedError(w, http.StatusServiceUnavailable, err, reasonDegraded,
+			retryAfterSeconds(2*s.cfg.DegradedProbeInterval))
+		return
+	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+		// The admission deadline, not the client's own: the queue stayed
+		// full for the whole wait. Nothing was committed.
+		s.adm.shedTimeout.Inc()
+		shedError(w, http.StatusTooManyRequests,
+			fmt.Errorf("ingest queue full: not admitted within the %v deadline", s.cfg.IngestDeadline),
+			reasonOverloaded, retryAfterSeconds(s.coal.estimateWait()))
 		return
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Client went away while queued; nothing was committed for it.
@@ -487,12 +545,31 @@ type statsResponse struct {
 }
 
 type serverStats struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	StreamTime    float64          `json:"stream_time"`
-	Tau           float64          `json:"tau"`
-	Draining      bool             `json:"draining"`
-	Coalescer     coalescerStats   `json:"coalescer"`
-	Durability    *durabilityStats `json:"durability,omitempty"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	StreamTime     float64          `json:"stream_time"`
+	Tau            float64          `json:"tau"`
+	Draining       bool             `json:"draining"`
+	Degraded       bool             `json:"degraded"`
+	DegradedReason string           `json:"degraded_reason,omitempty"`
+	Coalescer      coalescerStats   `json:"coalescer"`
+	Admission      admissionStats   `json:"admission"`
+	Durability     *durabilityStats `json:"durability,omitempty"`
+}
+
+// admissionStats is the load-shedding section of GET /v1/stats: how
+// many requests were refused, why, and the commit-wait estimate
+// distribution the ingest rule sheds on.
+type admissionStats struct {
+	DeadlineSeconds    float64 `json:"deadline_seconds"`
+	ShedEstimatedWait  uint64  `json:"shed_estimated_wait"`
+	ShedQueueFull      uint64  `json:"shed_queue_full"`
+	ShedDegraded       uint64  `json:"shed_degraded"`
+	ShedReads          uint64  `json:"shed_reads"`
+	EstimatedWaitP50   float64 `json:"estimated_wait_p50_seconds"`
+	EstimatedWaitP99   float64 `json:"estimated_wait_p99_seconds"`
+	DegradedEntered    uint64  `json:"degraded_entered"`
+	DegradedRecovered  uint64  `json:"degraded_recovered"`
+	MaxReadConcurrency int     `json:"max_read_concurrency"`
 }
 
 // durabilityStats is the WAL section of GET /v1/stats, present only
@@ -504,6 +581,9 @@ type durabilityStats struct {
 	Bytes            uint64  `json:"bytes"`
 	Checkpoints      uint64  `json:"checkpoints"`
 	CheckpointErrors uint64  `json:"checkpoint_errors"`
+	AppendRetries    int64   `json:"append_retries"`
+	Reopens          int64   `json:"reopens"`
+	ProbeFailures    uint64  `json:"probe_failures"`
 	Segments         int64   `json:"segments"`
 	NoSync           bool    `json:"no_sync"`
 	FsyncP50Sec      float64 `json:"fsync_p50_seconds"`
@@ -526,6 +606,7 @@ type coalescerStats struct {
 	Batches          uint64  `json:"batches"`
 	Points           uint64  `json:"points"`
 	Rejects          uint64  `json:"rejects"`
+	ClientCancels    uint64  `json:"client_cancels"`
 	PendingRequests  int64   `json:"pending_requests"`
 	BatchPointsP50   float64 `json:"batch_points_p50"`
 	BatchPointsP90   float64 `json:"batch_points_p90"`
@@ -535,23 +616,30 @@ type coalescerStats struct {
 	BatchRequestsP99 float64 `json:"batch_requests_p99"`
 	BatchWaitP50Sec  float64 `json:"batch_wait_p50_seconds"`
 	BatchWaitP99Sec  float64 `json:"batch_wait_p99_seconds"`
+	FlushP50Sec      float64 `json:"flush_p50_seconds"`
+	FlushP99Sec      float64 `json:"flush_p99_seconds"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	size := s.coal.batchSize.Stats()
 	reqs := s.coal.batchReqs.Stats()
 	wait := s.coal.batchWait.Stats()
+	flush := s.coal.flushSeconds.Stats()
+	estWait := s.adm.estWait.Stats()
 	resp := statsResponse{
 		Engine: s.c.Stats(),
 		Server: serverStats{
-			UptimeSeconds: time.Since(s.start).Seconds(),
-			StreamTime:    s.c.LastSnapshot().Time,
-			Tau:           s.c.LastSnapshot().Tau,
-			Draining:      s.draining.Load(),
+			UptimeSeconds:  time.Since(s.start).Seconds(),
+			StreamTime:     s.c.LastSnapshot().Time,
+			Tau:            s.c.LastSnapshot().Tau,
+			Draining:       s.draining.Load(),
+			Degraded:       s.deg.isDegraded(),
+			DegradedReason: degradedReasonIf(s.deg),
 			Coalescer: coalescerStats{
 				Batches:          s.coal.batches.Value(),
 				Points:           s.coal.pointsTotal.Value(),
 				Rejects:          s.coal.rejectsTotal.Value(),
+				ClientCancels:    s.coal.clientCancels.Value(),
 				PendingRequests:  s.coal.pending.Value(),
 				BatchPointsP50:   size.P50,
 				BatchPointsP90:   size.P90,
@@ -561,6 +649,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				BatchRequestsP99: reqs.P99,
 				BatchWaitP50Sec:  wait.P50,
 				BatchWaitP99Sec:  wait.P99,
+				FlushP50Sec:      flush.P50,
+				FlushP99Sec:      flush.P99,
+			},
+			Admission: admissionStats{
+				DeadlineSeconds:    s.cfg.IngestDeadline.Seconds(),
+				ShedEstimatedWait:  s.adm.shedEstimate.Value(),
+				ShedQueueFull:      s.adm.shedTimeout.Value(),
+				ShedDegraded:       s.adm.shedDegraded.Value(),
+				ShedReads:          s.adm.shedReads.Value(),
+				EstimatedWaitP50:   estWait.P50,
+				EstimatedWaitP99:   estWait.P99,
+				DegradedEntered:    s.deg.entered.Value(),
+				DegradedRecovered:  s.deg.recovered.Value(),
+				MaxReadConcurrency: cap(s.adm.readSem),
 			},
 		},
 	}
@@ -571,6 +673,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Bytes:            d.bytesTotal.Value(),
 			Checkpoints:      d.checkpoints.Value(),
 			CheckpointErrors: d.ckptErrors.Value(),
+			AppendRetries:    d.retries.Value(),
+			Reopens:          d.reopens.Value(),
+			ProbeFailures:    d.probeFailures.Value(),
 			Segments:         d.segments.Value(),
 			NoSync:           s.cfg.WALNoSync,
 			FsyncP50Sec:      fs.P50,
@@ -596,6 +701,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
+	if s.deg.isDegraded() {
+		// 200 on purpose: the read path is healthy and restarting the
+		// process would not fix the disk. The body tells orchestrators
+		// (and the runbook) that ingest is refusing writes.
+		fmt.Fprintln(w, "degraded")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -606,6 +718,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // ---- Helpers ----
+
+// degradedReasonIf returns the degradation cause only while degraded,
+// so a recovered server's stats stop carrying the stale error text.
+func degradedReasonIf(d *degradedState) string {
+	if !d.isDegraded() {
+		return ""
+	}
+	return d.reason()
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -257,7 +257,12 @@ type eventsResponse struct {
 	Events []wireEvent `json:"events"`
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Shed responses (429/503)
+// additionally carry a machine-readable reason ("overloaded",
+// "degraded", "draining") and mirror the Retry-After header so
+// body-only clients see the hint too.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	Reason            string `json:"reason,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }

@@ -63,11 +63,11 @@ type OSFS struct{}
 func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
-func (OSFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
-func (OSFS) Remove(name string) error                 { return os.Remove(name) }
-func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
 func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
-func (OSFS) Truncate(name string, size int64) error   { return os.Truncate(name, size) }
+func (OSFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
 
 func (OSFS) SyncDir(name string) error {
 	d, err := os.Open(filepath.Clean(name))

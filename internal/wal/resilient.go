@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnavailable is returned by operations on a ResilientLog whose
+// handle was invalidated by an exhausted retry loop and has not been
+// reopened yet.
+var ErrUnavailable = errors.New("wal: log unavailable (reopen pending)")
+
+// RetryPolicy bounds a ResilientLog's transient-fault handling: how
+// many times a durable append is attempted and how the backoff between
+// attempts grows.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per record, including
+	// the first. Zero means the default 3; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry. Zero means the
+	// default 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero means the default
+	// 500ms.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the sleep before retry number attempt (1-based):
+// exponential growth from BaseDelay capped at MaxDelay, with uniform
+// jitter in [d/2, d] so synchronized retriers spread out.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// ResilientLog wraps a Log with a bounded retry-with-backoff policy
+// around the durable-append path. A failed write wedges a plain Log
+// until it is reopened and recovery repairs the tail; ResilientLog
+// does exactly that automatically — close the broken handle, back off,
+// re-run Open on the same directory, retry the record — so a transient
+// disk hiccup costs latency, not the process. When every attempt fails
+// the error comes back to the caller, which decides what degraded mode
+// looks like (the serving daemon flips ingest into read-only 503s).
+//
+// Like Log, all mutating methods must be called from a single owner
+// goroutine; only Retries, Reopens and Healthy are safe elsewhere.
+type ResilientLog struct {
+	opts   Options
+	policy RetryPolicy
+	log    *Log // nil while a failure has the handle invalidated
+	info   RecoveryInfo
+
+	// sleep is the backoff clock; tests swap it out.
+	sleep func(time.Duration)
+
+	retries atomic.Uint64
+	reopens atomic.Uint64
+}
+
+// OpenResilient opens the WAL like Open and wraps it in the retry
+// policy. Boot-time recovery (Checkpoint, Replay) runs on the inner
+// log as usual before the first append.
+func OpenResilient(opts Options, policy RetryPolicy) (*ResilientLog, error) {
+	l, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ResilientLog{
+		opts:   opts,
+		policy: policy.withDefaults(),
+		log:    l,
+		info:   l.Info(),
+		sleep:  time.Sleep,
+	}, nil
+}
+
+// Info returns what boot-time recovery found (reopens do not change
+// it: the engine already holds everything they would report).
+func (r *ResilientLog) Info() RecoveryInfo { return r.info }
+
+// Checkpoint returns the newest valid checkpoint payload loaded at
+// boot, or nil.
+func (r *ResilientLog) Checkpoint() []byte { return r.log.Checkpoint() }
+
+// Replay streams the boot-time replay tail; see Log.Replay.
+func (r *ResilientLog) Replay(fn func(seq uint64, payload []byte) error) error {
+	return r.log.Replay(fn)
+}
+
+// Stats returns the inner log's counters (zero while unavailable).
+func (r *ResilientLog) Stats() Stats {
+	if r.log == nil {
+		return Stats{}
+	}
+	return r.log.Stats()
+}
+
+// SaveCheckpoint persists a checkpoint through the inner log. No retry
+// loop: checkpoints are an optimization the caller already tolerates
+// failing (the log still covers everything), so the error just reports
+// the attempt.
+func (r *ResilientLog) SaveCheckpoint(payload []byte) error {
+	if r.log == nil {
+		return ErrUnavailable
+	}
+	return r.log.SaveCheckpoint(payload)
+}
+
+// Healthy reports whether the log currently holds a usable handle.
+func (r *ResilientLog) Healthy() bool { return r.log != nil && r.log.wedged == nil }
+
+// Retries counts backoff-and-retry rounds taken by AppendSync.
+func (r *ResilientLog) Retries() uint64 { return r.retries.Load() }
+
+// Reopens counts successful recovery reopens of the directory.
+func (r *ResilientLog) Reopens() uint64 { return r.reopens.Load() }
+
+// Reopen discards the current handle (if any) and re-runs Open's full
+// recovery on the directory, repairing whatever tail damage the
+// failure left. The checkpoint and replay tail recovery finds are
+// discarded — a mid-flight reopen continues an engine that already
+// holds everything acknowledged. The degraded-mode probe calls this
+// directly.
+func (r *ResilientLog) Reopen() error {
+	r.invalidate()
+	l, err := Open(r.opts)
+	if err != nil {
+		return err
+	}
+	l.replay = nil
+	l.replayed = true
+	r.log = l
+	r.reopens.Add(1)
+	return nil
+}
+
+func (r *ResilientLog) invalidate() {
+	if r.log != nil {
+		_ = r.log.Close()
+		r.log = nil
+	}
+}
+
+// AppendSync appends one record and makes it durable, retrying
+// transient failures under the policy. Every failure invalidates the
+// handle and the next attempt reopens the directory, so recovery
+// truncates a torn append before the record is written again. A record
+// that fully reached the file but failed its fsync is detected by its
+// sequence number surviving recovery and is fsynced in place instead
+// of appended again — retries never duplicate records. The returned
+// error (after MaxAttempts) means the record is not durable and the
+// log is left without a handle; Reopen brings it back.
+func (r *ResilientLog) AppendSync(payload []byte) (uint64, error) {
+	var lastErr error
+	var landed uint64 // seq of a complete append whose fsync failed
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			r.sleep(r.policy.Backoff(attempt))
+		}
+		if r.log == nil || r.log.wedged != nil {
+			if err := r.Reopen(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if landed != 0 && r.log.Stats().NextSeq > landed {
+			// The record survived recovery intact; only the fsync is
+			// outstanding.
+			if err := r.log.SyncTail(); err != nil {
+				lastErr = err
+				r.invalidate()
+				continue
+			}
+			return landed, nil
+		}
+		landed = 0
+		seq, err := r.log.Append(payload)
+		if err != nil {
+			lastErr = err // the handle is wedged; the next attempt reopens
+			continue
+		}
+		if err := r.log.Sync(); err != nil {
+			lastErr = err
+			landed = seq
+			r.invalidate() // durable state unknown; recovery decides
+			continue
+		}
+		return seq, nil
+	}
+	r.invalidate()
+	return 0, fmt.Errorf("wal: record not durable after %d attempt(s): %w", r.policy.MaxAttempts, lastErr)
+}
+
+// Close closes the underlying handle if one is open.
+func (r *ResilientLog) Close() error {
+	if r.log == nil {
+		return nil
+	}
+	err := r.log.Close()
+	r.log = nil
+	return err
+}

@@ -545,6 +545,34 @@ func (l *Log) Sync() error {
 	return nil
 }
 
+// SyncTail fsyncs the segment the next append would continue, even
+// when this handle has not written to it yet. The resilient wrapper
+// calls it after a reopen when a previous handle appended a record but
+// failed the fsync: recovery proved the record is intact in the tail,
+// it just is not provably durable. No-op under NoSync or when no tail
+// segment exists.
+func (l *Log) SyncTail() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.wedged != nil {
+		return l.wedged
+	}
+	if l.noSync {
+		return nil
+	}
+	if l.cur == nil {
+		if !l.tailOK {
+			return nil
+		}
+		if err := l.openForAppend(); err != nil {
+			return err
+		}
+		l.curDirty = true
+	}
+	return l.Sync()
+}
+
 // openForAppend opens the segment the next record belongs in: the
 // surviving tail segment when the sequence numbers continue it, a
 // fresh segment otherwise.

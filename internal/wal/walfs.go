@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the default error a FaultFS fault surfaces.
@@ -25,10 +26,16 @@ type Fault struct {
 	// by the failing call before the error (a torn write). Negative
 	// writes nothing (a clean error).
 	Torn int
-	// Err is the error to return; nil means ErrInjected.
+	// Err is the error to return; nil means ErrInjected — except when
+	// Delay is set, where a nil Err makes the fault a pure slowdown.
 	Err error
 	// Sticky keeps the fault armed after it fires.
 	Sticky bool
+	// Delay stalls the matching operation before it proceeds. With a
+	// nil Err the operation then succeeds — the slow-disk model the
+	// overload drill uses to pin a server's ingest capacity — otherwise
+	// it fails after the stall. Usually combined with Sticky.
+	Delay time.Duration
 }
 
 // FaultFS wraps an FS and injects failures. It is the fault harness of
@@ -77,25 +84,38 @@ func (f *FaultFS) Fired() bool {
 }
 
 // check consumes one operation of the given kind and reports whether
-// it must fail (and with what error).
+// it must fail (and with what error). A fired fault's Delay stalls the
+// caller outside the lock before the verdict applies.
 func (f *FaultFS) check(op string) (bool, error) {
+	fail, delay, err := f.eval(op)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fail, err
+}
+
+func (f *FaultFS) eval(op string) (bool, time.Duration, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	fault := f.fault
 	if fault == nil || fault.Op != op {
-		return false, nil
+		return false, 0, nil
 	}
 	n := f.counts[op]
 	f.counts[op] = n + 1
 	if n < fault.After || (f.fired && !fault.Sticky) {
-		return false, nil
+		return false, 0, nil
 	}
 	f.fired = true
+	if fault.Err == nil && fault.Delay > 0 {
+		// A pure slow-disk fault: stall, then let the operation through.
+		return false, fault.Delay, nil
+	}
 	err := fault.Err
 	if err == nil {
 		err = ErrInjected
 	}
-	return true, err
+	return true, fault.Delay, err
 }
 
 // tornBytes returns the armed fault's Torn budget (write faults only).
