@@ -7,7 +7,7 @@
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
 //	             ablation, index, throughput, serve, parallel, e2e,
-//	             wal, overload, all
+//	             wal, overload, dr, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -34,6 +34,7 @@ var (
 	e2eJSON        string
 	walJSON        string
 	overloadJSON   string
+	drJSON         string
 	minSpeedup     float64
 )
 
@@ -55,6 +56,13 @@ func main() {
 		}
 		return
 	}
+	if os.Getenv("EDMBENCH_DR_CHILD") == "1" {
+		if err := bench.RunDRChild(); err != nil {
+			fmt.Fprintf(os.Stderr, "edmbench: dr child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	points := flag.Int("points", 20000, "stream length per dataset")
 	seed := flag.Int64("seed", 1, "random seed for the synthetic generators")
 	rate := flag.Float64("rate", 1000, "arrival rate in points per second")
@@ -70,6 +78,8 @@ func main() {
 		"path of the machine-readable artifact the wal experiment writes (empty disables it)")
 	flag.StringVar(&overloadJSON, "overloadjson", "BENCH_overload.json",
 		"path of the machine-readable artifact the overload drill writes (empty disables it)")
+	flag.StringVar(&drJSON, "drjson", "BENCH_recovery.json",
+		"path of the machine-readable artifact the disaster-recovery drill writes (empty disables it)")
 	flag.Float64Var(&minSpeedup, "minspeedup", 0,
 		"fail the parallel experiment when the 4-worker speedup falls below this ratio (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Usage = usage
@@ -129,6 +139,14 @@ experiments:
             degraded-mode entry and recovery, and exact survival of
             every acknowledged point across a drain and restart (writes
             the machine-readable BENCH_overload.json artifact)
+  dr        disaster recovery: a durable serving child ships compressed
+            checkpoints and sealed WAL segments to a fault-injected
+            object store; a total remote outage must not fail a single
+            ingest ack (only report archive-lagging), then the child is
+            SIGKILLed, its data directory destroyed, and a fresh child
+            restores from the flaky remote inside the recovery budget
+            with a byte-identical clustering (writes the machine-
+            readable BENCH_recovery.json artifact)
   all       run every experiment
 
 flags:
@@ -337,8 +355,20 @@ func run(id string, s bench.Scale) error {
 			}
 			fmt.Printf("wrote %s\n", overloadJSON)
 		}
+	case "dr":
+		rep, err := bench.RunDR(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatDR(rep))
+		if drJSON != "" {
+			if err := bench.WriteDRJSON(drJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", drJSON)
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e", "wal", "overload"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e", "wal", "overload", "dr"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

@@ -67,6 +67,14 @@ type cliConfig struct {
 	readConcurrency  int
 	probeInterval    time.Duration
 	walRetryAttempts int
+
+	archiveURL         string
+	archiveQueue       int
+	archiveRetryBase   time.Duration
+	archiveRetryMax    time.Duration
+	recoveryBudget     time.Duration
+	checkpointCompress bool
+	restoreFromArchive bool
 }
 
 func registerFlags(fs *flag.FlagSet, c *cliConfig) {
@@ -96,6 +104,13 @@ func registerFlags(fs *flag.FlagSet, c *cliConfig) {
 	fs.IntVar(&c.readConcurrency, "read-concurrency", 0, "max concurrent data-plane reads before 429 shedding (0 = default 256)")
 	fs.DurationVar(&c.probeInterval, "degraded-probe-interval", 0, "how often a degraded server probes the WAL for recovery (0 = default 1s)")
 	fs.IntVar(&c.walRetryAttempts, "wal-retry-attempts", 0, "durable-append attempts before the server degrades to read-only (0 = default 3)")
+	fs.StringVar(&c.archiveURL, "archive-url", "", "remote archive for sealed WAL segments and checkpoints: file://path or a plain directory path; empty disables shipping")
+	fs.IntVar(&c.archiveQueue, "archive-queue", 0, "upload-notification queue length before the shipper falls back to a resync (0 = default 64)")
+	fs.DurationVar(&c.archiveRetryBase, "archive-retry-base", 0, "initial retry backoff after a failed upload (0 = default 100ms)")
+	fs.DurationVar(&c.archiveRetryMax, "archive-retry-max", 0, "retry backoff ceiling during a remote outage (0 = default 5s)")
+	fs.DurationVar(&c.recoveryBudget, "recovery-budget", 0, "target crash-recovery replay time; checkpoints fire early to keep the estimated replay under it (0 = count-based checkpoints only)")
+	fs.BoolVar(&c.checkpointCompress, "checkpoint-compress", false, "gzip checkpoint payloads on disk (CRC still covers the uncompressed snapshot)")
+	fs.BoolVar(&c.restoreFromArchive, "restore-from-archive", false, "rebuild an empty -data-dir from the remote archive before serving; refused if local WAL state exists")
 }
 
 // buildOptions maps the flags to library options. Validation happens
@@ -134,6 +149,14 @@ func buildServerConfig(c cliConfig) server.Config {
 		MaxReadConcurrency:    c.readConcurrency,
 		DegradedProbeInterval: c.probeInterval,
 		WALRetryAttempts:      c.walRetryAttempts,
+
+		ArchiveURL:         c.archiveURL,
+		ArchiveQueue:       c.archiveQueue,
+		ArchiveRetryBase:   c.archiveRetryBase,
+		ArchiveRetryMax:    c.archiveRetryMax,
+		RecoveryBudget:     c.recoveryBudget,
+		CheckpointCompress: c.checkpointCompress,
+		RestoreFromArchive: c.restoreFromArchive,
 	}
 }
 

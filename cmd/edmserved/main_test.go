@@ -57,6 +57,50 @@ func TestFlagMapping(t *testing.T) {
 	}
 }
 
+// TestArchiveFlagMapping pins the archive / disaster-recovery knobs:
+// each flag lands in its server.Config field and the combination
+// validates (archive flags require -data-dir).
+func TestArchiveFlagMapping(t *testing.T) {
+	fs := flag.NewFlagSet("edmserved", flag.ContinueOnError)
+	var cfg cliConfig
+	registerFlags(fs, &cfg)
+	err := fs.Parse([]string{
+		"-data-dir", t.TempDir(),
+		"-archive-url", "file:///tmp/edm-archive",
+		"-archive-queue", "16",
+		"-archive-retry-base", "50ms",
+		"-archive-retry-max", "2s",
+		"-recovery-budget", "30s",
+		"-checkpoint-compress",
+		"-restore-from-archive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := buildServerConfig(cfg)
+	if sc.ArchiveURL != "file:///tmp/edm-archive" || sc.ArchiveQueue != 16 ||
+		sc.ArchiveRetryBase != 50*time.Millisecond || sc.ArchiveRetryMax != 2*time.Second ||
+		sc.RecoveryBudget != 30*time.Second || !sc.CheckpointCompress || !sc.RestoreFromArchive {
+		t.Errorf("archive config mapping wrong: %+v", sc)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("mapped archive config invalid: %v", err)
+	}
+
+	// The knobs are rejected without the archive itself: the flag
+	// surface and server-side validation must agree.
+	fs2 := flag.NewFlagSet("edmserved", flag.ContinueOnError)
+	var cfg2 cliConfig
+	registerFlags(fs2, &cfg2)
+	if err := fs2.Parse([]string{"-data-dir", t.TempDir(), "-archive-queue", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildServerConfig(cfg2).Validate(); err == nil {
+		t.Error("archive-queue without -archive-url validated; want error")
+	}
+}
+
 // TestFlagDefaults: the zero-flag parse produces the documented
 // defaults (and an invalid radius, which main rejects explicitly).
 func TestFlagDefaults(t *testing.T) {
@@ -74,6 +118,11 @@ func TestFlagDefaults(t *testing.T) {
 	}
 	if cfg.radius != 0 {
 		t.Errorf("radius default = %g, want 0 (required flag)", cfg.radius)
+	}
+	if cfg.archiveURL != "" || cfg.archiveQueue != 0 || cfg.archiveRetryBase != 0 ||
+		cfg.archiveRetryMax != 0 || cfg.recoveryBudget != 0 ||
+		cfg.checkpointCompress || cfg.restoreFromArchive {
+		t.Errorf("archive defaults wrong (want all zero/off): %+v", cfg)
 	}
 	if err := buildServerConfig(cfg).Validate(); err != nil {
 		t.Errorf("default server config invalid: %v", err)

@@ -1,0 +1,189 @@
+package archive
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error an injected fault surfaces.
+var ErrInjected = errors.New("archive: injected fault")
+
+// ErrOutage is what every operation returns while a FaultStore outage
+// is switched on (the dead-remote model the drills toggle by signal).
+var ErrOutage = errors.New("archive: injected remote outage")
+
+// Fault describes one injected remote failure, mirroring the wal.Fault
+// model so both fault harnesses read the same way. The Nth matching
+// operation fails; Every makes the failure periodic (a flaky remote
+// rather than a single hiccup).
+type Fault struct {
+	// Op is the operation kind to fail: "put", "get", "list" or
+	// "delete".
+	Op string
+	// After is how many matching operations succeed before the fault
+	// first fires (0 fails the first one).
+	After int
+	// Every, when positive, re-fires the fault on every Every-th
+	// matching operation after the first firing — the deterministic
+	// flaky-remote mode the disaster drill runs against. Zero fires
+	// once (or every time with Sticky).
+	Every int
+	// Partial, for put faults, is the number of bytes actually stored
+	// under the key before the error: a partial upload that leaves a
+	// truncated object VISIBLE remotely, which restore must survive.
+	// Zero stores nothing.
+	Partial int
+	// Err is the error to return; nil means ErrInjected — except when
+	// Delay is set, where a nil Err makes the fault a pure slowdown.
+	Err error
+	// Sticky keeps the fault firing on every subsequent match.
+	Sticky bool
+	// Delay stalls the matching operation before the verdict applies;
+	// with a nil Err the operation then succeeds (a slow remote).
+	Delay time.Duration
+}
+
+// faultState tracks one armed fault's match count.
+type faultState struct {
+	f     Fault
+	count int
+	fired bool
+}
+
+// FaultStore wraps an ObjectStore and injects deterministic errors,
+// latency, partial uploads and whole-remote outages. The shipper and
+// restore cannot tell it from a real flaky remote, so every retry,
+// lag-reporting and recovery path is drivable without a network.
+type FaultStore struct {
+	inner ObjectStore
+
+	mu     sync.Mutex
+	faults []*faultState
+	outage bool
+}
+
+// NewFaultStore wraps inner.
+func NewFaultStore(inner ObjectStore) *FaultStore {
+	return &FaultStore{inner: inner}
+}
+
+// Inject arms the given faults, replacing any previous set and
+// resetting their counters. Each fault tracks its own operation count,
+// so a flaky-put and a flaky-get fault coexist independently.
+func (s *FaultStore) Inject(faults ...Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = s.faults[:0]
+	for _, f := range faults {
+		f := f
+		s.faults = append(s.faults, &faultState{f: f})
+	}
+}
+
+// Clear disarms every fault (the outage switch is separate).
+func (s *FaultStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = nil
+}
+
+// SetOutage switches the whole-remote outage on or off: while on,
+// every operation fails with ErrOutage (after consuming its fault
+// counters, so a heal resumes the deterministic schedule).
+func (s *FaultStore) SetOutage(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outage = on
+}
+
+// Outage reports the current outage switch.
+func (s *FaultStore) Outage() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outage
+}
+
+// check consumes one operation of the given kind and returns the
+// verdict: whether it fails, the partial-put byte budget, and the
+// error. A Delay stalls the caller outside the lock.
+func (s *FaultStore) check(op string) (fail bool, partial int, err error) {
+	fail, partial, delay, err := s.eval(op)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fail, partial, err
+}
+
+func (s *FaultStore) eval(op string) (bool, int, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.faults {
+		if st.f.Op != op {
+			continue
+		}
+		n := st.count
+		st.count++
+		if n < st.f.After {
+			continue
+		}
+		matched := st.f.Sticky || !st.fired
+		if !matched && st.f.Every > 0 {
+			matched = (n-st.f.After)%st.f.Every == 0
+		}
+		if !matched {
+			continue
+		}
+		st.fired = true
+		if st.f.Err == nil && st.f.Delay > 0 {
+			return false, 0, st.f.Delay, nil // pure slowdown
+		}
+		err := st.f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return true, st.f.Partial, st.f.Delay, err
+	}
+	if s.outage {
+		return true, 0, 0, ErrOutage
+	}
+	return false, 0, 0, nil
+}
+
+func (s *FaultStore) Put(key string, data []byte) error {
+	if fail, partial, err := s.check("put"); fail {
+		if partial > 0 {
+			// A partial upload: the truncated prefix becomes VISIBLE
+			// under the key, modeling a non-atomic remote. Restore must
+			// detect and skip it, never trust it.
+			n := partial
+			if n > len(data) {
+				n = len(data)
+			}
+			_ = s.inner.Put(key, data[:n])
+		}
+		return err
+	}
+	return s.inner.Put(key, data)
+}
+
+func (s *FaultStore) Get(key string) ([]byte, error) {
+	if fail, _, err := s.check("get"); fail {
+		return nil, err
+	}
+	return s.inner.Get(key)
+}
+
+func (s *FaultStore) List(prefix string) ([]string, error) {
+	if fail, _, err := s.check("list"); fail {
+		return nil, err
+	}
+	return s.inner.List(prefix)
+}
+
+func (s *FaultStore) Delete(key string) error {
+	if fail, _, err := s.check("delete"); fail {
+		return err
+	}
+	return s.inner.Delete(key)
+}

@@ -1,0 +1,97 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newFaultStore(t *testing.T) (*FaultStore, *DirStore) {
+	t.Helper()
+	inner, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	return NewFaultStore(inner), inner
+}
+
+func TestFaultStorePeriodic(t *testing.T) {
+	s, _ := newFaultStore(t)
+	s.Inject(Fault{Op: "put", After: 2, Every: 3})
+	// Puts 0,1 succeed; 2 fails; 3,4 succeed; 5 fails; ...
+	for i := 0; i < 9; i++ {
+		err := s.Put("k", []byte("v"))
+		wantFail := i >= 2 && (i-2)%3 == 0
+		if wantFail && !errors.Is(err, ErrInjected) {
+			t.Fatalf("put %d: err = %v, want ErrInjected", i, err)
+		}
+		if !wantFail && err != nil {
+			t.Fatalf("put %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestFaultStorePartialPutIsVisible(t *testing.T) {
+	s, inner := newFaultStore(t)
+	s.Inject(Fault{Op: "put", Partial: 4})
+	data := []byte("0123456789")
+	if err := s.Put("seg/x", data); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial put err = %v, want ErrInjected", err)
+	}
+	// The truncated prefix is VISIBLE under the key — the non-atomic
+	// remote the restore path must survive.
+	got, err := inner.Get("seg/x")
+	if err != nil || !bytes.Equal(got, data[:4]) {
+		t.Fatalf("partial object = %q, %v; want %q", got, err, data[:4])
+	}
+}
+
+func TestFaultStoreOutage(t *testing.T) {
+	s, _ := newFaultStore(t)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("pre-outage put: %v", err)
+	}
+	s.SetOutage(true)
+	if err := s.Put("k", []byte("v")); !errors.Is(err, ErrOutage) {
+		t.Fatalf("outage put err = %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrOutage) {
+		t.Fatalf("outage get err = %v", err)
+	}
+	if _, err := s.List(""); !errors.Is(err, ErrOutage) {
+		t.Fatalf("outage list err = %v", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrOutage) {
+		t.Fatalf("outage delete err = %v", err)
+	}
+	s.SetOutage(false)
+	if got, err := s.Get("k"); err != nil || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("healed get = %q, %v", got, err)
+	}
+}
+
+func TestFaultStoreIndependentFaults(t *testing.T) {
+	s, _ := newFaultStore(t)
+	s.Inject(
+		Fault{Op: "put", After: 1},
+		Fault{Op: "get", After: 0, Sticky: true},
+	)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("put 0 should succeed: %v", err)
+	}
+	if err := s.Put("k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put 1 err = %v, want ErrInjected", err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("put 2 should succeed (non-sticky): %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Get("k"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sticky get %d err = %v", i, err)
+		}
+	}
+	s.Clear()
+	if _, err := s.Get("k"); err != nil {
+		t.Fatalf("get after Clear: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/densitymountain/edmstream/internal/wal"
+)
+
+// buildAndShip creates a WAL directory with a compressed checkpoint and
+// a live tail, ships everything (segments gzipped), and returns the
+// store plus the replayable tail contents of the source log.
+func buildAndShip(t *testing.T, store ObjectStore) (ckpt []byte, tailSeqs []uint64, tails [][]byte) {
+	t.Helper()
+	walDir := t.TempDir()
+	ship, err := NewShipper(ShipperOptions{Dir: walDir, Store: store, Compress: true, RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond, ResyncEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewShipper: %v", err)
+	}
+	l, err := wal.Open(wal.Options{
+		Dir:                 walDir,
+		SegmentBytes:        1 << 10,
+		CompressCheckpoints: true,
+		OnSegmentSealed:     ship.NoteSegmentSealed,
+		OnCheckpointSaved:   ship.NoteCheckpointSaved,
+	})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	ship.Start()
+
+	payload := make([]byte, 100)
+	for i := 0; i < 30; i++ {
+		payload[0] = byte(i)
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	ckpt = []byte("engine state after 30 records")
+	if err := l.SaveCheckpoint(ckpt); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	for i := 30; i < 45; i++ {
+		payload[0] = byte(i)
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatalf("Sync: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("wal.Close: %v", err)
+	}
+	// wal.Close sealed the final segment (through = 46), so the remote
+	// ends up covering the complete stream; poll for that coverage.
+	waitFor(t, "everything shipped", func() bool {
+		st := ship.Stats()
+		return st.ShippedCheckpointSeq == 31 && st.ShippedThroughSeq == 46 && !ship.Lagging() && st.LagObjects == 0
+	})
+	if err := ship.Close(5 * time.Second); err != nil {
+		t.Fatalf("ship.Close: %v", err)
+	}
+
+	// What the source log would replay is the reference the restored
+	// one must match.
+	src, err := wal.Open(wal.Options{Dir: walDir})
+	if err != nil {
+		t.Fatalf("reopening source: %v", err)
+	}
+	defer src.Close()
+	if err := src.Replay(func(seq uint64, p []byte) error {
+		tailSeqs = append(tailSeqs, seq)
+		tails = append(tails, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("source Replay: %v", err)
+	}
+	return ckpt, tailSeqs, tails
+}
+
+// restoreAndOpen restores into a fresh directory and opens the result.
+func restoreAndOpen(t *testing.T, store ObjectStore) (RestoreInfo, *wal.Log) {
+	t.Helper()
+	dir := t.TempDir()
+	info, err := Restore(store, dir)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("wal.Open over restored dir: %v", err)
+	}
+	return info, l
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	ckpt, wantSeqs, wantTails := buildAndShip(t, store)
+
+	info, l := restoreAndOpen(t, store)
+	defer l.Close()
+	if info.Checkpoints != 1 || info.Segments == 0 || info.BadObjects != 0 {
+		t.Fatalf("unexpected restore info: %+v", info)
+	}
+	if !l.Info().HasCheckpoint || !bytes.Equal(l.Checkpoint(), ckpt) {
+		t.Fatalf("restored checkpoint differs: %+v", l.Info())
+	}
+	var gotSeqs []uint64
+	var gotTails [][]byte
+	if err := l.Replay(func(seq uint64, p []byte) error {
+		gotSeqs = append(gotSeqs, seq)
+		gotTails = append(gotTails, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(gotSeqs) != len(wantSeqs) {
+		t.Fatalf("restored %d tail records, want %d", len(gotSeqs), len(wantSeqs))
+	}
+	for i := range wantSeqs {
+		if gotSeqs[i] != wantSeqs[i] || !bytes.Equal(gotTails[i], wantTails[i]) {
+			t.Fatalf("restored tail record %d differs", i)
+		}
+	}
+}
+
+func TestRestoreSkipsPartialUploadDebris(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	ckpt, wantSeqs, _ := buildAndShip(t, store)
+
+	// Plant a truncated gzip object under a plausible FUTURE segment
+	// name — partial-upload debris from a dying shipper. Its gzip
+	// framing fails, so restore skips it; WAL continuity is unaffected
+	// because no valid record points past the real tail.
+	if err := store.Put(segKeyPrefix+"wal-00000000000000ff.log"+gzSuffix, []byte("\x1f\x8b\x08garbage")); err != nil {
+		t.Fatalf("planting debris: %v", err)
+	}
+
+	info, l := restoreAndOpen(t, store)
+	defer l.Close()
+	if info.BadObjects != 1 {
+		t.Fatalf("BadObjects = %d, want 1: %+v", info.BadObjects, info)
+	}
+	if !bytes.Equal(l.Checkpoint(), ckpt) {
+		t.Fatal("checkpoint differs after debris skip")
+	}
+	var got int
+	if err := l.Replay(func(uint64, []byte) error { got++; return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if got != len(wantSeqs) {
+		t.Fatalf("replayed %d records, want %d", got, len(wantSeqs))
+	}
+}
+
+func TestRestoreSurvivesFlakyRemote(t *testing.T) {
+	inner, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	ckpt, _, _ := buildAndShip(t, inner)
+	store := NewFaultStore(inner)
+	store.Inject(Fault{Op: "get", After: 1, Every: 2}) // every other download fails
+
+	info, l := restoreAndOpen(t, store)
+	defer l.Close()
+	if info.Retried == 0 {
+		t.Fatalf("flaky remote produced no retries: %+v", info)
+	}
+	if !bytes.Equal(l.Checkpoint(), ckpt) {
+		t.Fatal("checkpoint differs after flaky restore")
+	}
+}
+
+func TestRestoreRefusesLocalState(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	if _, err := l.Append([]byte("local record")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Restore(store, dir); !errors.Is(err, ErrLocalState) {
+		t.Fatalf("Restore over local state = %v, want ErrLocalState", err)
+	}
+}
+
+func TestRestoreEmptyRemote(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	dir := t.TempDir()
+	info, err := Restore(store, dir)
+	if err != nil {
+		t.Fatalf("Restore from empty remote: %v", err)
+	}
+	if info.Checkpoints != 0 || info.Segments != 0 {
+		t.Fatalf("restored objects from an empty remote: %+v", info)
+	}
+	l, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("wal.Open after empty restore: %v", err)
+	}
+	defer l.Close()
+	if l.Info().HasCheckpoint || l.Info().RecordsReplayable != 0 {
+		t.Fatalf("empty restore produced state: %+v", l.Info())
+	}
+}

@@ -1,0 +1,181 @@
+// Package archive ships the durability subsystem's sealed WAL segments
+// and finished checkpoints to a remote object store, and can rebuild an
+// empty data directory from that store after total local loss. It is
+// the disaster-recovery layer on top of internal/wal: local durability
+// remains the acknowledgement authority (an HTTP 200 never waits on the
+// remote), the archive is an asynchronous replica path with an
+// explicit, observable consistency lag.
+//
+// The remote key layout mirrors the WAL directory:
+//
+//	seg/wal-<seq16hex>.log[.gz]    sealed (or reconciled) log segments
+//	ckpt-<seq16hex>.ckpt under     checkpoints, shipped verbatim (the
+//	ckpt/                          gzip variant is a WAL-level format)
+//
+// A ".gz" suffix marks an object the shipper compressed in flight;
+// restore strips it and decompresses, then lets wal.Open apply the
+// exact same CRC and sequence-continuity rules as local recovery.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNotExist is returned by Get and Delete for a key with no object.
+var ErrNotExist = errors.New("archive: object does not exist")
+
+// ObjectStore is the minimal blob-store surface the shipper and restore
+// need. Implementations must make Put atomic per key (readers see the
+// old object or the new one, never a torn mix) — DirStore does, and any
+// real object store does by nature. FaultStore deliberately breaks this
+// to model partial uploads.
+type ObjectStore interface {
+	// Put stores data under key, overwriting any previous object.
+	Put(key string, data []byte) error
+	// Get returns the object stored under key, or ErrNotExist.
+	Get(key string) ([]byte, error)
+	// List returns every key with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Delete removes the object under key; deleting a missing key is
+	// not an error.
+	Delete(key string) error
+}
+
+// DirStore is the local-directory reference implementation: keys map to
+// files under a root, with "/" separating subdirectories. It is what a
+// file:// archive URL opens, and what the fault-injection wrapper and
+// the drills build on.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	if root == "" {
+		return nil, errors.New("archive: store root is required")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: creating store root: %w", err)
+	}
+	return &DirStore{root: root}, nil
+}
+
+// Root returns the store's directory.
+func (s *DirStore) Root() string { return s.root }
+
+// path maps a key to its file, rejecting escapes from the root.
+func (s *DirStore) path(key string) (string, error) {
+	if key == "" {
+		return "", errors.New("archive: empty object key")
+	}
+	clean := filepath.Clean(filepath.FromSlash(key))
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("archive: object key %q escapes the store root", key)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+// Put writes atomically: temp file in the same directory, then rename,
+// so a concurrent Get (or a crash) never observes a torn object.
+func (s *DirStore) Put(key string, data []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("archive: creating prefix for %q: %w", key, err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("archive: writing %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("archive: publishing %q: %w", key, err)
+	}
+	return nil
+}
+
+func (s *DirStore) Get(key string) ([]byte, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("archive: reading %q: %w", key, err)
+	}
+	return data, nil
+}
+
+// List walks the root and returns the sorted keys under prefix.
+// In-flight ".tmp" files are invisible, like an object store's
+// uncommitted multipart uploads.
+func (s *DirStore) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // raced with a delete; the object is simply gone
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(p, ".tmp") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(s.root, p)
+		if rerr != nil {
+			return rerr
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("archive: listing %q: %w", prefix, err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (s *DirStore) Delete(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("archive: deleting %q: %w", key, err)
+	}
+	return nil
+}
+
+// OpenStore resolves an archive URL to a store. Today the schemes are
+// "file://<path>" and a bare filesystem path; the interface is the seam
+// where an S3/GCS client would plug in without touching the shipper or
+// restore logic.
+func OpenStore(url string) (ObjectStore, error) {
+	if url == "" {
+		return nil, errors.New("archive: empty archive URL")
+	}
+	if rest, ok := strings.CutPrefix(url, "file://"); ok {
+		if rest == "" {
+			return nil, fmt.Errorf("archive: file:// URL %q has no path", url)
+		}
+		return NewDirStore(rest)
+	}
+	if i := strings.Index(url, "://"); i >= 0 {
+		return nil, fmt.Errorf("archive: unsupported archive scheme %q (only file:// and plain paths)", url[:i])
+	}
+	return NewDirStore(url)
+}

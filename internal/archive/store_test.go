@@ -1,0 +1,108 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	if err := s.Put("seg/wal-0000000000000001.log", []byte("one")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("seg/wal-0000000000000001.log")
+	if err != nil || !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Overwrite is atomic and replaces the object.
+	if err := s.Put("seg/wal-0000000000000001.log", []byte("two")); err != nil {
+		t.Fatalf("overwrite Put: %v", err)
+	}
+	if got, _ := s.Get("seg/wal-0000000000000001.log"); !bytes.Equal(got, []byte("two")) {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	if err := s.Delete("seg/wal-0000000000000001.log"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("seg/wal-0000000000000001.log"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Get after Delete = %v, want ErrNotExist", err)
+	}
+	// Deleting a missing key is not an error.
+	if err := s.Delete("seg/wal-0000000000000001.log"); err != nil {
+		t.Fatalf("double Delete: %v", err)
+	}
+}
+
+func TestDirStoreListSortedWithPrefix(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	keys := []string{"seg/b.log", "ckpt/a.ckpt", "seg/a.log", "seg/a.log.gz"}
+	for _, k := range keys {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	// An in-flight temp file must be invisible to List.
+	if err := os.WriteFile(filepath.Join(s.Root(), "seg", "c.log.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatalf("planting temp file: %v", err)
+	}
+	all, err := s.List("")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if !sort.StringsAreSorted(all) || len(all) != len(keys) {
+		t.Fatalf("List(\"\") = %v, want the %d keys sorted", all, len(keys))
+	}
+	segs, err := s.List("seg/")
+	if err != nil {
+		t.Fatalf("List(seg/): %v", err)
+	}
+	want := []string{"seg/a.log", "seg/a.log.gz", "seg/b.log"}
+	if len(segs) != len(want) {
+		t.Fatalf("List(seg/) = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("List(seg/) = %v, want %v", segs, want)
+		}
+	}
+}
+
+func TestDirStoreRejectsEscapingKeys(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	for _, bad := range []string{"", "../outside", "a/../../outside", "/etc/passwd"} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted an escaping key", bad)
+		}
+		if _, err := s.Get(bad); err == nil {
+			t.Fatalf("Get(%q) accepted an escaping key", bad)
+		}
+	}
+}
+
+func TestOpenStore(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenStore("file://" + dir); err != nil {
+		t.Fatalf("OpenStore(file://): %v", err)
+	}
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatalf("OpenStore(plain path): %v", err)
+	}
+	for _, bad := range []string{"", "s3://bucket/prefix", "file://"} {
+		if _, err := OpenStore(bad); err == nil {
+			t.Fatalf("OpenStore(%q) accepted", bad)
+		}
+	}
+}

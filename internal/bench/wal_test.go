@@ -9,9 +9,10 @@ import (
 )
 
 // TestMain diverts the test binary into child-server mode when the
-// kill-and-restart drill or the overload drill re-execs it (see
-// RunWALChild / RunOverloadChild); cmd/edmbench has the same hooks,
-// so the experiments work from both binaries.
+// kill-and-restart drill, the overload drill or the disaster-recovery
+// drill re-execs it (see RunWALChild / RunOverloadChild / RunDRChild);
+// cmd/edmbench has the same hooks, so the experiments work from both
+// binaries.
 func TestMain(m *testing.M) {
 	if os.Getenv(walChildEnv) == "1" {
 		if err := RunWALChild(); err != nil {
@@ -23,6 +24,13 @@ func TestMain(m *testing.M) {
 	if os.Getenv(overloadChildEnv) == "1" {
 		if err := RunOverloadChild(); err != nil {
 			fmt.Fprintf(os.Stderr, "overload child: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	if os.Getenv(drChildEnv) == "1" {
+		if err := RunDRChild(); err != nil {
+			fmt.Fprintf(os.Stderr, "dr child: %v\n", err)
 			os.Exit(1)
 		}
 		os.Exit(0)

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"github.com/densitymountain/edmstream/internal/archive"
+	"github.com/densitymountain/edmstream/internal/obs"
+)
+
+// archiveMetrics mirrors the shipper's atomic counters into the obs
+// registry. Everything is a Gauge refreshed with Set from whoever reads
+// it (/metrics, /v1/stats): the shipper owns the real counters, and
+// concurrent delta-Adds from multiple scrape goroutines would
+// double-count.
+type archiveMetrics struct {
+	shipped       *obs.Gauge
+	shippedBytes  *obs.Gauge
+	readBytes     *obs.Gauge
+	failed        *obs.Gauge
+	retried       *obs.Gauge
+	dropped       *obs.Gauge
+	skipped       *obs.Gauge
+	pruned        *obs.Gauge
+	lagObjects    *obs.Gauge
+	lagRecords    *obs.Gauge
+	lagSecondsK   *obs.Gauge
+	lagging       *obs.Gauge
+	shippedSeq    *obs.Gauge
+	shippedCkpSeq *obs.Gauge
+}
+
+func newArchiveMetrics(reg *obs.Registry) *archiveMetrics {
+	return &archiveMetrics{
+		shipped:       reg.Gauge("edmserved_archive_shipped_objects", ""),
+		shippedBytes:  reg.Gauge("edmserved_archive_shipped_bytes", ""),
+		readBytes:     reg.Gauge("edmserved_archive_read_bytes", ""),
+		failed:        reg.Gauge("edmserved_archive_failed_uploads", ""),
+		retried:       reg.Gauge("edmserved_archive_upload_retries", ""),
+		dropped:       reg.Gauge("edmserved_archive_dropped_notifications", ""),
+		skipped:       reg.Gauge("edmserved_archive_skipped_uploads", ""),
+		pruned:        reg.Gauge("edmserved_archive_pruned_objects", ""),
+		lagObjects:    reg.Gauge("edmserved_archive_lag_objects", ""),
+		lagRecords:    reg.Gauge("edmserved_archive_lag_records", ""),
+		lagSecondsK:   reg.Gauge("edmserved_archive_lag_seconds_x1000", ""),
+		lagging:       reg.Gauge("edmserved_archive_lagging", ""),
+		shippedSeq:    reg.Gauge("edmserved_archive_shipped_through_seq", ""),
+		shippedCkpSeq: reg.Gauge("edmserved_archive_shipped_checkpoint_seq", ""),
+	}
+}
+
+// refresh snapshots the shipper into the gauges. Safe from any
+// goroutine.
+func (m *archiveMetrics) refresh(st archive.ShipperStats) {
+	m.shipped.Set(int64(st.Shipped))
+	m.shippedBytes.Set(int64(st.ShippedBytes))
+	m.readBytes.Set(int64(st.ReadBytes))
+	m.failed.Set(int64(st.Failed))
+	m.retried.Set(int64(st.Retried))
+	m.dropped.Set(int64(st.Dropped))
+	m.skipped.Set(int64(st.Skipped))
+	m.pruned.Set(int64(st.Pruned))
+	m.lagObjects.Set(st.LagObjects)
+	m.lagRecords.Set(st.LagRecords)
+	m.lagSecondsK.Set(int64(st.LagSeconds * 1000))
+	if st.Lagging {
+		m.lagging.Set(1)
+	} else {
+		m.lagging.Set(0)
+	}
+	m.shippedSeq.Set(int64(st.ShippedThroughSeq))
+	m.shippedCkpSeq.Set(int64(st.ShippedCheckpointSeq))
+}
+
+// archiveStats is the archive section of GET /v1/stats, present only
+// when an archive is configured.
+type archiveStats struct {
+	Shipped              uint64  `json:"shipped"`
+	ShippedBytes         uint64  `json:"shipped_bytes"`
+	ReadBytes            uint64  `json:"read_bytes"`
+	Failed               uint64  `json:"failed"`
+	Retried              uint64  `json:"retried"`
+	Dropped              uint64  `json:"dropped"`
+	Skipped              uint64  `json:"skipped"`
+	Pruned               uint64  `json:"pruned"`
+	LagObjects           int64   `json:"lag_objects"`
+	LagRecords           int64   `json:"lag_records"`
+	LagSeconds           float64 `json:"lag_seconds"`
+	Lagging              bool    `json:"lagging"`
+	LocalThroughSeq      uint64  `json:"local_through_seq"`
+	ShippedThroughSeq    uint64  `json:"shipped_through_seq"`
+	ShippedCheckpointSeq uint64  `json:"shipped_checkpoint_seq"`
+
+	// Restore reports the disaster restore that built this data
+	// directory, when RestoreFromArchive ran one; RestoreSkipped means
+	// the flag was set but local WAL state made the restore a no-op.
+	Restore        *archive.RestoreInfo `json:"restore,omitempty"`
+	RestoreSkipped bool                 `json:"restore_skipped,omitempty"`
+}

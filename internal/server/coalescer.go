@@ -341,8 +341,14 @@ func (co *coalescer) flush() {
 		}
 	}
 	if err == nil {
+		insertBegin := time.Now()
 		acks, err = co.c.InsertBatchAssigned(co.pts, co.acks[:0])
 		co.acks = acks
+		if err == nil && co.dur != nil {
+			// The pure engine-apply time (no WAL, no fsync) feeds the
+			// recovery-budget estimator: replay is this same work.
+			co.dur.noteApply(len(co.pts), time.Since(insertBegin))
+		}
 	}
 
 	co.batches.Inc()

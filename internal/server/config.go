@@ -26,6 +26,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/densitymountain/edmstream/internal/archive"
 	"github.com/densitymountain/edmstream/internal/wal"
 )
 
@@ -130,6 +131,51 @@ type Config struct {
 	// The chaos drill and the fault-injection tests plug a wal.FaultFS
 	// in here. Ignored without DataDir.
 	WALFS wal.FS
+	// ArchiveURL enables the remote archive: sealed WAL segments and
+	// finished checkpoints are shipped asynchronously to this object
+	// store ("file://<path>" or a plain directory path). The archive is
+	// a disaster-recovery replica, never the ack authority: a remote
+	// outage shows up as archive lag in /healthz and /v1/stats, it
+	// never blocks or fails ingest. Requires DataDir.
+	ArchiveURL string
+	// ArchiveStore, when non-nil, is the object store to ship to,
+	// overriding ArchiveURL resolution — the seam the disaster drill
+	// uses to inject an archive.FaultStore. Requires DataDir.
+	ArchiveStore archive.ObjectStore
+	// ArchiveQueue bounds the shipper's notification queue; a full
+	// queue drops notifications (repaired by resync) rather than ever
+	// blocking the WAL writer. Zero means the default 64; negative is
+	// invalid. Ignored without an archive.
+	ArchiveQueue int
+	// ArchiveRetryBase/ArchiveRetryMax shape the shipper's jittered
+	// exponential backoff between upload attempts. Zero means the
+	// defaults 100ms / 5s; negative is invalid. Ignored without an
+	// archive.
+	ArchiveRetryBase time.Duration
+	ArchiveRetryMax  time.Duration
+	// ArchiveResync is how often the shipper, after drops or failures,
+	// rescans the WAL directory and ships whatever the remote is
+	// missing. Zero means the default 30s; negative is invalid. Ignored
+	// without an archive.
+	ArchiveResync time.Duration
+	// RecoveryBudget bounds estimated crash-recovery time: when the
+	// WAL tail would take longer than this to replay (at the replay
+	// rate measured during the last recovery, or the live ingest apply
+	// rate before any recovery has run), a checkpoint is taken even if
+	// CheckpointEvery has not been reached. Zero disables the budget;
+	// negative is invalid. Requires DataDir.
+	RecoveryBudget time.Duration
+	// CheckpointCompress writes WAL checkpoints gzip-compressed (the
+	// integrity header still describes the uncompressed payload, so
+	// corruption detection is unchanged, and readers accept both
+	// formats regardless of this setting). Requires DataDir.
+	CheckpointCompress bool
+	// RestoreFromArchive rebuilds an EMPTY data directory from the
+	// archive before opening it: every remote checkpoint and segment is
+	// downloaded and the normal recovery path replays the result. A
+	// data directory that already holds WAL state fails the restore
+	// (local state is the durability authority). Requires an archive.
+	RestoreFromArchive bool
 }
 
 // Defaults.
@@ -149,7 +195,17 @@ const (
 	defaultMaxReadConcurrency    = 256
 	defaultDegradedProbeInterval = time.Second
 	defaultWALRetryAttempts      = 3
+
+	defaultArchiveQueue     = 64
+	defaultArchiveRetryBase = 100 * time.Millisecond
+	defaultArchiveRetryMax  = 5 * time.Second
+	defaultArchiveResync    = 30 * time.Second
 )
+
+// archiveConfigured reports whether an archive destination is set.
+func (c Config) archiveConfigured() bool {
+	return c.ArchiveURL != "" || c.ArchiveStore != nil
+}
 
 // withDefaults returns a copy with defaults filled in. CoalesceWindow
 // zero is preserved: it is the documented "no added wait" setting, not
@@ -197,6 +253,22 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WALRetryAttempts == 0 {
 		c.WALRetryAttempts = defaultWALRetryAttempts
+	}
+	// The archive knobs only default when an archive is configured, so
+	// a zero-valued (archiveless) Config stays exactly zero-valued.
+	if c.archiveConfigured() {
+		if c.ArchiveQueue == 0 {
+			c.ArchiveQueue = defaultArchiveQueue
+		}
+		if c.ArchiveRetryBase == 0 {
+			c.ArchiveRetryBase = defaultArchiveRetryBase
+		}
+		if c.ArchiveRetryMax == 0 {
+			c.ArchiveRetryMax = defaultArchiveRetryMax
+		}
+		if c.ArchiveResync == 0 {
+			c.ArchiveResync = defaultArchiveResync
+		}
 	}
 	return c
 }
@@ -275,6 +347,43 @@ func (c Config) Validate() error {
 	}
 	if c.WALRetryAttempts < 0 {
 		return fmt.Errorf("server: WALRetryAttempts must be non-negative (0 means the default %d), got %d", defaultWALRetryAttempts, c.WALRetryAttempts)
+	}
+	if c.ArchiveQueue < 0 {
+		return fmt.Errorf("server: ArchiveQueue must be non-negative (0 means the default %d), got %d", defaultArchiveQueue, c.ArchiveQueue)
+	}
+	if c.ArchiveRetryBase < 0 {
+		return fmt.Errorf("server: ArchiveRetryBase must be non-negative (0 means the default %v), got %v", defaultArchiveRetryBase, c.ArchiveRetryBase)
+	}
+	if c.ArchiveRetryMax < 0 {
+		return fmt.Errorf("server: ArchiveRetryMax must be non-negative (0 means the default %v), got %v", defaultArchiveRetryMax, c.ArchiveRetryMax)
+	}
+	if c.ArchiveRetryBase > 0 && c.ArchiveRetryMax > 0 && c.ArchiveRetryMax < c.ArchiveRetryBase {
+		return fmt.Errorf("server: ArchiveRetryMax %v must be at least ArchiveRetryBase %v", c.ArchiveRetryMax, c.ArchiveRetryBase)
+	}
+	if c.ArchiveResync < 0 {
+		return fmt.Errorf("server: ArchiveResync must be non-negative (0 means the default %v), got %v", defaultArchiveResync, c.ArchiveResync)
+	}
+	if c.RecoveryBudget < 0 {
+		return fmt.Errorf("server: RecoveryBudget must be non-negative (0 disables the budget), got %v", c.RecoveryBudget)
+	}
+	if c.archiveConfigured() && c.DataDir == "" {
+		return fmt.Errorf("server: an archive is configured but DataDir is empty — there is no WAL to ship")
+	}
+	if !c.archiveConfigured() {
+		if c.RestoreFromArchive {
+			return fmt.Errorf("server: RestoreFromArchive is set but no archive is configured — there is nothing to restore from")
+		}
+		if c.ArchiveQueue > 0 || c.ArchiveRetryBase > 0 || c.ArchiveRetryMax > 0 || c.ArchiveResync > 0 {
+			return fmt.Errorf("server: archive shipper knobs are set but no archive is configured — set ArchiveURL (or ArchiveStore)")
+		}
+	}
+	if c.DataDir == "" {
+		if c.CheckpointCompress {
+			return fmt.Errorf("server: CheckpointCompress is set but DataDir is empty — there are no checkpoints to compress")
+		}
+		if c.RecoveryBudget > 0 {
+			return fmt.Errorf("server: RecoveryBudget is set but DataDir is empty — there is no WAL to bound recovery for")
+		}
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/densitymountain/edmstream"
+	"github.com/densitymountain/edmstream/internal/archive"
 	"github.com/densitymountain/edmstream/internal/obs"
 	"github.com/densitymountain/edmstream/internal/wal"
 )
@@ -31,6 +32,15 @@ type durability struct {
 	recovery  wal.RecoveryInfo
 	ckptBuf   bytes.Buffer
 
+	// Recovery-time budget: a checkpoint is also taken when the points
+	// appended since the last one would take longer than budget to
+	// replay. The estimate uses the replay rate measured during this
+	// boot's recovery, falling back to an EMA of the live engine apply
+	// rate when recovery replayed nothing.
+	budget     time.Duration
+	replayRate float64 // points/second measured during recovery; 0 = unmeasured
+	applyRate  float64 // EMA of live InsertBatchAssigned points/second
+
 	fsync         obs.Timing
 	ckptTime      obs.Timing
 	records       *obs.Counter
@@ -41,6 +51,9 @@ type durability struct {
 	segments      *obs.Gauge
 	retries       *obs.Gauge // mirrors the resilient log's retry count
 	reopens       *obs.Gauge // mirrors the resilient log's reopen count
+	budgetCkpts   *obs.Counter
+	estReplayMs   *obs.Gauge // estimated replay time of the current tail
+	replayRateG   *obs.Gauge // points/second the estimate divides by
 	// Recovery outcome, frozen after open (gauges so they export).
 	recoverySeconds  *obs.Gauge
 	recoveredRecords *obs.Gauge
@@ -52,14 +65,20 @@ type durability struct {
 // replay the log tail through the normal batch-ingest path. Engine
 // determinism makes the result byte-identical to the uninterrupted run
 // over the acknowledged prefix.
-func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*durability, error) {
+func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry, ship *archive.Shipper) (*durability, error) {
 	begin := time.Now()
-	log, err := wal.OpenResilient(wal.Options{
-		Dir:          cfg.DataDir,
-		SegmentBytes: cfg.WALSegmentBytes,
-		NoSync:       cfg.WALNoSync,
-		FS:           cfg.WALFS,
-	}, wal.RetryPolicy{MaxAttempts: cfg.WALRetryAttempts})
+	opts := wal.Options{
+		Dir:                 cfg.DataDir,
+		SegmentBytes:        cfg.WALSegmentBytes,
+		NoSync:              cfg.WALNoSync,
+		FS:                  cfg.WALFS,
+		CompressCheckpoints: cfg.CheckpointCompress,
+	}
+	if ship != nil {
+		opts.OnSegmentSealed = ship.NoteSegmentSealed
+		opts.OnCheckpointSaved = ship.NoteCheckpointSaved
+	}
+	log, err := wal.OpenResilient(opts, wal.RetryPolicy{MaxAttempts: cfg.WALRetryAttempts})
 	if err != nil {
 		return nil, fmt.Errorf("server: opening WAL in %s: %w", cfg.DataDir, err)
 	}
@@ -69,6 +88,8 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*dur
 			return nil, fmt.Errorf("server: restoring checkpoint from %s: %w", cfg.DataDir, err)
 		}
 	}
+	replayBegin := time.Now()
+	replayedPoints := 0
 	err = log.Replay(func(seq uint64, payload []byte) error {
 		pts, derr := decodeBatchRecord(payload)
 		if derr != nil {
@@ -77,16 +98,26 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*dur
 		if ierr := c.InsertBatch(pts); ierr != nil {
 			return fmt.Errorf("record %d: replaying batch: %w", seq, ierr)
 		}
+		replayedPoints += len(pts)
 		return nil
 	})
 	if err != nil {
 		log.Close()
 		return nil, fmt.Errorf("server: replaying WAL from %s: %w", cfg.DataDir, err)
 	}
+	var replayRate float64
+	if dur := time.Since(replayBegin).Seconds(); replayedPoints > 0 && dur > 0 {
+		replayRate = float64(replayedPoints) / dur
+	}
 
 	d := &durability{
 		log:              log,
 		ckptEvery:        cfg.CheckpointEvery,
+		budget:           cfg.RecoveryBudget,
+		replayRate:       replayRate,
+		// The replayed tail is NOT yet covered by a checkpoint: seed
+		// the counter so the budget (and CheckpointEvery) see it.
+		sinceCkpt:        replayedPoints,
 		recovery:         log.Info(),
 		fsync:            reg.Timing("edmserved_wal_fsync_seconds", ""),
 		ckptTime:         reg.Timing("edmserved_wal_checkpoint_seconds", ""),
@@ -98,6 +129,9 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*dur
 		segments:         reg.Gauge("edmserved_wal_segments", ""),
 		retries:          reg.Gauge("edmserved_wal_append_retries", ""),
 		reopens:          reg.Gauge("edmserved_wal_reopens", ""),
+		budgetCkpts:      reg.Counter("edmserved_wal_budget_checkpoints_total", ""),
+		estReplayMs:      reg.Gauge("edmserved_recovery_est_replay_ms", ""),
+		replayRateG:      reg.Gauge("edmserved_recovery_replay_points_per_sec", ""),
 		recoverySeconds:  reg.Gauge("edmserved_wal_recovery_seconds_x1000", ""),
 		recoveredRecords: reg.Gauge("edmserved_wal_recovered_records", ""),
 		droppedBytes:     reg.Gauge("edmserved_wal_recovery_dropped_bytes", ""),
@@ -106,6 +140,7 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) (*dur
 	d.recoverySeconds.Add(time.Since(begin).Milliseconds())
 	d.recoveredRecords.Add(int64(d.recovery.RecordsReplayable))
 	d.droppedBytes.Add(d.recovery.DroppedBytes)
+	d.replayRateG.Set(int64(replayRate))
 	return d, nil
 }
 
@@ -155,13 +190,61 @@ func (d *durability) probe(c *edmstream.Clusterer) bool {
 // log, bounding the replay tail. A failed checkpoint is counted and
 // retried at the next boundary — the log itself still covers
 // everything, so durability is not at risk, only recovery time.
+//
+// With a RecoveryBudget, the boundary is ALSO crossed when the tail's
+// estimated replay time (points since the last checkpoint divided by
+// the measured replay rate) exceeds the budget: the point-count knob
+// bounds checkpoint I/O, the budget bounds restart time, whichever
+// bites first wins.
 func (d *durability) noteCommitted(c *edmstream.Clusterer, points int) {
 	d.sinceCkpt += points
-	if d.sinceCkpt < d.ckptEvery {
+	over := d.sinceCkpt >= d.ckptEvery
+	budgetHit := false
+	if !over && d.budget > 0 {
+		if rate := d.recoveryRate(); rate > 0 {
+			est := float64(d.sinceCkpt) / rate
+			d.estReplayMs.Set(int64(est * 1000))
+			budgetHit = est > d.budget.Seconds()
+		}
+	}
+	if !over && !budgetHit {
 		return
 	}
 	if d.checkpoint(c) {
+		if budgetHit {
+			d.budgetCkpts.Inc()
+		}
 		d.sinceCkpt = 0
+		d.estReplayMs.Set(0)
+	}
+}
+
+// recoveryRate is the points-per-second divisor for replay estimates:
+// the rate measured during this boot's recovery when it replayed
+// anything, otherwise the live apply-rate EMA (replay IS batch apply —
+// it runs the same InsertBatch path without HTTP in front).
+func (d *durability) recoveryRate() float64 {
+	if d.replayRate > 0 {
+		return d.replayRate
+	}
+	return d.applyRate
+}
+
+// noteApply feeds the apply-rate EMA from the coalescer's measured
+// engine-insert timings. Writer goroutine only.
+func (d *durability) noteApply(points int, dur time.Duration) {
+	if points <= 0 || dur <= 0 {
+		return
+	}
+	rate := float64(points) / dur.Seconds()
+	const alpha = 0.2
+	if d.applyRate == 0 {
+		d.applyRate = rate
+	} else {
+		d.applyRate += alpha * (rate - d.applyRate)
+	}
+	if d.replayRate == 0 {
+		d.replayRateG.Set(int64(d.applyRate))
 	}
 }
 
@@ -192,15 +275,11 @@ func (d *durability) syncSegmentGauge() {
 }
 
 // syncRetryGauges mirrors the resilient log's retry/reopen counters
-// into the registry (gauges, because obs counters only increment by
-// what the caller hands them).
+// into the registry. Set, not delta-Add: /metrics refreshes these from
+// request goroutines too, and concurrent deltas would double-count.
 func (d *durability) syncRetryGauges() {
-	if delta := int64(d.log.Retries()) - d.retries.Value(); delta != 0 {
-		d.retries.Add(delta)
-	}
-	if delta := int64(d.log.Reopens()) - d.reopens.Value(); delta != 0 {
-		d.reopens.Add(delta)
-	}
+	d.retries.Set(int64(d.log.Retries()))
+	d.reopens.Set(int64(d.log.Reopens()))
 }
 
 // close takes a final checkpoint (so a restart replays nothing) and

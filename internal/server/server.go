@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/densitymountain/edmstream"
+	"github.com/densitymountain/edmstream/internal/archive"
 	"github.com/densitymountain/edmstream/internal/obs"
 	"github.com/densitymountain/edmstream/internal/wal"
 )
@@ -36,6 +37,15 @@ type Server struct {
 	reg  *obs.Registry
 	mux  *http.ServeMux
 	http *http.Server
+
+	// ship is the archive shipper (nil without an archive); archiveM
+	// mirrors its counters into the registry, restored records the
+	// disaster restore New ran (nil if none), and restoreSkipped means
+	// RestoreFromArchive found local WAL state and deferred to it.
+	ship           *archive.Shipper
+	archiveM       *archiveMetrics
+	restored       *archive.RestoreInfo
+	restoreSkipped bool
 
 	// start anchors the server's stream clock: points arriving
 	// without an explicit timestamp are stamped with seconds since
@@ -97,11 +107,57 @@ func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 		serveErr: make(chan error, 1),
 	}
 	if cfg.DataDir != "" {
-		dur, err := openDurability(c, cfg, s.reg)
+		if cfg.archiveConfigured() {
+			store := cfg.ArchiveStore
+			if store == nil {
+				var err error
+				store, err = archive.OpenStore(cfg.ArchiveURL)
+				if err != nil {
+					return nil, fmt.Errorf("server: opening archive %q: %w", cfg.ArchiveURL, err)
+				}
+			}
+			if cfg.RestoreFromArchive {
+				info, err := archive.Restore(store, cfg.DataDir)
+				switch {
+				case errors.Is(err, archive.ErrLocalState):
+					// Local WAL state is the durability authority; the
+					// restore defers to it rather than overwrite acked
+					// records with an older remote view.
+					s.restoreSkipped = true
+				case err != nil:
+					return nil, fmt.Errorf("server: restoring %s from archive: %w", cfg.DataDir, err)
+				default:
+					s.restored = &info
+				}
+			}
+			ship, err := archive.NewShipper(archive.ShipperOptions{
+				Dir:         cfg.DataDir,
+				Store:       store,
+				QueueLen:    cfg.ArchiveQueue,
+				RetryBase:   cfg.ArchiveRetryBase,
+				RetryMax:    cfg.ArchiveRetryMax,
+				ResyncEvery: cfg.ArchiveResync,
+				Compress:    cfg.CheckpointCompress,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.ship = ship
+			s.archiveM = newArchiveMetrics(s.reg)
+		}
+		dur, err := openDurability(c, cfg, s.reg, s.ship)
 		if err != nil {
+			if s.ship != nil {
+				_ = s.ship.Close(time.Second)
+			}
 			return nil, err
 		}
 		s.dur = dur
+		if s.ship != nil {
+			// Started only after recovery: the first reconcile pass then
+			// sees the recovered (and pruned) directory, not a moving one.
+			s.ship.Start()
+		}
 	}
 	s.adm = newAdmission(cfg, s.reg)
 	s.deg = newDegradedState(s.reg)
@@ -259,6 +315,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// is already on disk — the checkpoint only shortens the next
 		// boot's replay.
 		if err := s.dur.close(s.c); err != nil && httpErr == nil {
+			httpErr = err
+		}
+	}
+	if s.ship != nil {
+		// After dur.close so the final checkpoint's seal/save
+		// notifications are already queued; the drain gives each pending
+		// upload one best-effort attempt.
+		if err := s.ship.Close(5 * time.Second); err != nil && httpErr == nil {
 			httpErr = err
 		}
 	}
@@ -554,6 +618,7 @@ type serverStats struct {
 	Coalescer      coalescerStats   `json:"coalescer"`
 	Admission      admissionStats   `json:"admission"`
 	Durability     *durabilityStats `json:"durability,omitempty"`
+	Archive        *archiveStats    `json:"archive,omitempty"`
 }
 
 // admissionStats is the load-shedding section of GET /v1/stats: how
@@ -588,6 +653,15 @@ type durabilityStats struct {
 	NoSync           bool    `json:"no_sync"`
 	FsyncP50Sec      float64 `json:"fsync_p50_seconds"`
 	FsyncP99Sec      float64 `json:"fsync_p99_seconds"`
+
+	// Recovery-time budget: how many checkpoints the budget (rather
+	// than the point-count cadence) forced, the replay rate the
+	// estimate divides by, and the budget itself (0 = disabled).
+	BudgetCheckpoints    uint64  `json:"budget_checkpoints"`
+	ReplayPointsPerSec   int64   `json:"replay_points_per_sec"`
+	RecoveryBudgetSec    float64 `json:"recovery_budget_seconds"`
+	EstimatedReplayMs    int64   `json:"estimated_replay_ms"`
+	CheckpointCompressed bool    `json:"checkpoint_compressed"`
 
 	Recovery recoveryStats `json:"recovery"`
 }
@@ -673,13 +747,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Bytes:            d.bytesTotal.Value(),
 			Checkpoints:      d.checkpoints.Value(),
 			CheckpointErrors: d.ckptErrors.Value(),
-			AppendRetries:    d.retries.Value(),
-			Reopens:          d.reopens.Value(),
-			ProbeFailures:    d.probeFailures.Value(),
-			Segments:         d.segments.Value(),
-			NoSync:           s.cfg.WALNoSync,
-			FsyncP50Sec:      fs.P50,
-			FsyncP99Sec:      fs.P99,
+			// Live from the resilient log's atomics, not the gauges the
+			// writer refreshes: a retry storm shows up here even between
+			// appends.
+			AppendRetries:        int64(d.log.Retries()),
+			Reopens:              int64(d.log.Reopens()),
+			ProbeFailures:        d.probeFailures.Value(),
+			Segments:             d.segments.Value(),
+			NoSync:               s.cfg.WALNoSync,
+			FsyncP50Sec:          fs.P50,
+			FsyncP99Sec:          fs.P99,
+			BudgetCheckpoints:    d.budgetCkpts.Value(),
+			ReplayPointsPerSec:   d.replayRateG.Value(),
+			RecoveryBudgetSec:    s.cfg.RecoveryBudget.Seconds(),
+			EstimatedReplayMs:    d.estReplayMs.Value(),
+			CheckpointCompressed: s.cfg.CheckpointCompress,
 			Recovery: recoveryStats{
 				HasCheckpoint:      d.recovery.HasCheckpoint,
 				CheckpointSeq:      d.recovery.CheckpointSeq,
@@ -689,6 +771,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				DroppedSegments:    d.recovery.DroppedSegments,
 				TruncatedSegment:   d.recovery.TruncatedSegment,
 			},
+		}
+	}
+	if s.ship != nil {
+		st := s.ship.Stats()
+		s.archiveM.refresh(st)
+		resp.Server.Archive = &archiveStats{
+			Shipped:              st.Shipped,
+			ShippedBytes:         st.ShippedBytes,
+			ReadBytes:            st.ReadBytes,
+			Failed:               st.Failed,
+			Retried:              st.Retried,
+			Dropped:              st.Dropped,
+			Skipped:              st.Skipped,
+			Pruned:               st.Pruned,
+			LagObjects:           st.LagObjects,
+			LagRecords:           st.LagRecords,
+			LagSeconds:           st.LagSeconds,
+			Lagging:              st.Lagging,
+			LocalThroughSeq:      st.LocalThroughSeq,
+			ShippedThroughSeq:    st.ShippedThroughSeq,
+			ShippedCheckpointSeq: st.ShippedCheckpointSeq,
+			Restore:              s.restored,
+			RestoreSkipped:       s.restoreSkipped,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -709,9 +814,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
+	if s.ship != nil && s.ship.Lagging() {
+		// A detail line, not a degradation: ingest acks never depend on
+		// the remote, so a lagging archive stays 200/"ok" — orchestrators
+		// keep the pod, operators see the replica falling behind.
+		fmt.Fprintln(w, "archive-lagging")
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.ship != nil {
+		s.archiveM.refresh(s.ship.Stats())
+	}
+	if s.dur != nil {
+		s.dur.syncRetryGauges()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = s.reg.WritePrometheus(w)

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // FS is the filesystem surface the log runs on. Production uses the
@@ -65,9 +66,26 @@ func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 }
 func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (OSFS) Remove(name string) error                     { return os.Remove(name) }
-func (OSFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
 func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 func (OSFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+// ReadDir lists the directory sorted by name. os.ReadDir sorts already,
+// but recovery's segment/checkpoint ordering depends on it, so the
+// contract is enforced here rather than inherited.
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) {
+	entries, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	sortDirEntries(entries)
+	return entries, nil
+}
+
+// sortDirEntries pins the FS.ReadDir name-order contract for every
+// implementation, independent of what the underlying listing returns.
+func sortDirEntries(entries []os.DirEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+}
 
 func (OSFS) SyncDir(name string) error {
 	d, err := os.Open(filepath.Clean(name))

@@ -1,6 +1,8 @@
 package wal
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -41,6 +43,11 @@ const (
 var (
 	segMagic  = [8]byte{'E', 'D', 'M', 'W', 'A', 'L', '0', '1'}
 	ckptMagic = [8]byte{'E', 'D', 'M', 'W', 'C', 'K', '0', '1'}
+	// ckptMagicGz marks the compressed checkpoint variant: the header
+	// keeps the UNCOMPRESSED payload length and CRC, the body is the
+	// gzipped payload. Readers accept both variants regardless of the
+	// CompressCheckpoints option, so the flag can be toggled mid-life.
+	ckptMagicGz = [8]byte{'E', 'D', 'M', 'W', 'C', 'K', 'G', 'Z'}
 
 	// ErrClosed is returned by operations on a closed log.
 	ErrClosed = errors.New("wal: log is closed")
@@ -61,6 +68,19 @@ type Options struct {
 	// FS is the filesystem to run on; nil means the real one. Tests
 	// inject FaultFS here.
 	FS FS
+	// CompressCheckpoints writes checkpoints gzip-compressed (the
+	// header CRC still covers the uncompressed payload, so corruption
+	// detection is unchanged). Either variant is always readable.
+	CompressCheckpoints bool
+	// OnSegmentSealed, when non-nil, is called on the owner goroutine
+	// after a segment is finished by rotation, with the segment's file
+	// name and the first sequence number NOT in it. The archive
+	// shipper hangs its upload queue here; the hook must not block.
+	OnSegmentSealed func(name string, through uint64)
+	// OnCheckpointSaved, when non-nil, is called on the owner goroutine
+	// after a checkpoint is durably published, with its file name and
+	// the first sequence number it does not cover.
+	OnCheckpointSaved func(name string, nextSeq uint64)
 }
 
 // RecoveryInfo reports what Open found, recovered and dropped. The
@@ -193,6 +213,10 @@ type Log struct {
 	appendedBytes uint64
 	syncs         uint64
 
+	compressCkpt bool
+	onSealed     func(name string, through uint64)
+	onCkptSaved  func(name string, nextSeq uint64)
+
 	buf []byte
 }
 
@@ -208,12 +232,15 @@ func Open(opts Options) (*Log, error) {
 		return nil, errors.New("wal: Options.Dir is required")
 	}
 	l := &Log{
-		fs:       opts.FS,
-		dir:      opts.Dir,
-		segSize:  opts.SegmentBytes,
-		noSync:   opts.NoSync,
-		nextSeq:  1,
-		ckptNext: 1,
+		fs:           opts.FS,
+		dir:          opts.Dir,
+		segSize:      opts.SegmentBytes,
+		noSync:       opts.NoSync,
+		nextSeq:      1,
+		ckptNext:     1,
+		compressCkpt: opts.CompressCheckpoints,
+		onSealed:     opts.OnSegmentSealed,
+		onCkptSaved:  opts.OnCheckpointSaved,
 	}
 	if l.fs == nil {
 		l.fs = OSFS{}
@@ -269,6 +296,27 @@ func parseSeq(name, prefix, ext string) (uint64, error) {
 func segName(seq uint64) string  { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segExt) }
 func ckptName(seq uint64) string { return fmt.Sprintf("%s%016x%s", ckptPrefix, seq, ckptExt) }
 
+// ParseSegmentFileName reports whether name is a WAL segment file and,
+// if so, the sequence number of its first record. Exported for the
+// archive layer, which mirrors the directory's naming remotely.
+func ParseSegmentFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segExt) {
+		return 0, false
+	}
+	seq, err := parseSeq(name, segPrefix, segExt)
+	return seq, err == nil
+}
+
+// ParseCheckpointFileName reports whether name is a checkpoint file
+// and, if so, the first sequence number it does not cover.
+func ParseCheckpointFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptExt) {
+		return 0, false
+	}
+	seq, err := parseSeq(name, ckptPrefix, ckptExt)
+	return seq, err == nil
+}
+
 // loadCheckpoint tries checkpoint files newest-first, keeping the
 // first that validates and removing the corrupt ones it bypassed.
 func (l *Log) loadCheckpoint() error {
@@ -306,7 +354,12 @@ func (l *Log) readCheckpointFile(meta segMeta) ([]byte, error) {
 	if len(data) < ckptHeaderLen {
 		return nil, fmt.Errorf("wal: checkpoint %s is truncated at %d bytes", meta.name, len(data))
 	}
-	if string(data[:8]) != string(ckptMagic[:]) {
+	compressed := false
+	switch string(data[:8]) {
+	case string(ckptMagic[:]):
+	case string(ckptMagicGz[:]):
+		compressed = true
+	default:
 		return nil, fmt.Errorf("wal: checkpoint %s has bad magic", meta.name)
 	}
 	nextSeq := binary.LittleEndian.Uint64(data[8:16])
@@ -314,11 +367,31 @@ func (l *Log) readCheckpointFile(meta segMeta) ([]byte, error) {
 		return nil, fmt.Errorf("wal: checkpoint %s names seq %d but holds %d", meta.name, meta.firstSeq, nextSeq)
 	}
 	n := binary.LittleEndian.Uint64(data[16:24])
-	if n > maxRecordBytes || int64(n) != int64(len(data)-ckptHeaderLen) {
-		return nil, fmt.Errorf("wal: checkpoint %s has payload length %d but %d bytes", meta.name, n, len(data)-ckptHeaderLen)
+	if n > maxRecordBytes {
+		return nil, fmt.Errorf("wal: checkpoint %s claims an absurd payload length %d", meta.name, n)
 	}
 	sum := binary.LittleEndian.Uint32(data[24:28])
 	payload := data[ckptHeaderLen:]
+	if compressed {
+		// The header describes the UNCOMPRESSED payload; a truncated or
+		// corrupt gzip body fails here and the checkpoint is skipped
+		// like any other damage.
+		zr, zerr := gzip.NewReader(bytes.NewReader(payload))
+		if zerr != nil {
+			return nil, fmt.Errorf("wal: checkpoint %s gzip header: %w", meta.name, zerr)
+		}
+		plain, rerr := io.ReadAll(io.LimitReader(zr, maxRecordBytes+1))
+		if cerr := zr.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return nil, fmt.Errorf("wal: checkpoint %s decompressing: %w", meta.name, rerr)
+		}
+		payload = plain
+	}
+	if int64(n) != int64(len(payload)) {
+		return nil, fmt.Errorf("wal: checkpoint %s has payload length %d but %d bytes", meta.name, n, len(payload))
+	}
 	if got := crc32.ChecksumIEEE(payload); got != sum {
 		return nil, fmt.Errorf("wal: checkpoint %s CRC mismatch (stored %08x, computed %08x)", meta.name, sum, got)
 	}
@@ -611,12 +684,20 @@ func (l *Log) openForAppend() error {
 }
 
 // rotate finishes the open segment (synced unless NoSync) so the next
-// append starts a new one.
+// append starts a new one, then notifies the seal hook: the segment's
+// contents are final from here on (only a checkpoint prune removes it).
 func (l *Log) rotate() error {
 	if err := l.Sync(); err != nil {
 		return err
 	}
-	return l.closeCur()
+	sealed := l.curName
+	if err := l.closeCur(); err != nil {
+		return err
+	}
+	if l.onSealed != nil && sealed != "" {
+		l.onSealed(sealed, l.nextSeq)
+	}
+	return nil
 }
 
 func (l *Log) closeCur() error {
@@ -654,14 +735,26 @@ func (l *Log) SaveCheckpoint(payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("wal: creating checkpoint %s: %w", tmp, err)
 	}
+	// The length and CRC always describe the uncompressed payload, so
+	// the corruption checks are identical across both variants.
+	magic := ckptMagic
+	body := payload
+	if l.compressCkpt {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		if _, zerr := zw.Write(payload); zerr == nil && zw.Close() == nil {
+			magic = ckptMagicGz
+			body = zbuf.Bytes()
+		}
+	}
 	var header [ckptHeaderLen]byte
-	copy(header[:8], ckptMagic[:])
+	copy(header[:8], magic[:])
 	binary.LittleEndian.PutUint64(header[8:16], covered)
 	binary.LittleEndian.PutUint64(header[16:24], uint64(len(payload)))
 	binary.LittleEndian.PutUint32(header[24:28], crc32.ChecksumIEEE(payload))
 	_, err = f.Write(header[:])
 	if err == nil {
-		_, err = f.Write(payload)
+		_, err = f.Write(body)
 	}
 	if err == nil {
 		err = f.Sync()
@@ -684,6 +777,9 @@ func (l *Log) SaveCheckpoint(payload []byte) error {
 	l.ckptNext = covered
 	l.ckptFiles = append(l.ckptFiles, segMeta{firstSeq: covered, name: final})
 	l.prune()
+	if l.onCkptSaved != nil {
+		l.onCkptSaved(final, covered)
+	}
 	return nil
 }
 
@@ -730,7 +826,9 @@ func (l *Log) Stats() Stats {
 }
 
 // Close syncs (unless NoSync) and closes the open segment. The log is
-// unusable afterwards.
+// unusable afterwards. A clean close also fires the seal hook for the
+// final segment — it will never grow again, so the archive shipper can
+// replace any stale tail copy with the complete one.
 func (l *Log) Close() error {
 	if l.closed {
 		return nil
@@ -742,8 +840,15 @@ func (l *Log) Close() error {
 			err = fmt.Errorf("wal: syncing segment %s on close: %w", l.curName, serr)
 		}
 	}
+	sealed := ""
+	if l.cur != nil {
+		sealed = l.curName
+	}
 	if cerr := l.closeCur(); err == nil {
 		err = cerr
+	}
+	if err == nil && l.onSealed != nil && sealed != "" {
+		l.onSealed(sealed, l.nextSeq)
 	}
 	return err
 }

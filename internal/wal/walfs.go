@@ -155,7 +155,17 @@ func (f *FaultFS) Remove(name string) error {
 	return f.inner.Remove(name)
 }
 
-func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+// ReadDir sorts explicitly rather than trusting the wrapped FS: a test
+// double with arbitrary listing order must not leak unsorted entries
+// into recovery's segment ordering.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	entries, err := f.inner.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	sortDirEntries(entries)
+	return entries, nil
+}
 
 func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
 	return f.inner.MkdirAll(path, perm)
