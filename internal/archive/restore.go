@@ -89,39 +89,69 @@ func Restore(store ObjectStore, dir string) (RestoreInfo, error) {
 	if err != nil {
 		return info, err
 	}
+	// Group remote keys by the local file they restore to: the same
+	// segment can exist both plain and gzipped when the shipper's
+	// Compress flag was toggled across restarts. Only one variant may
+	// win per name — the one holding the longer decompressed payload,
+	// since segments are append-only and the longer copy carries a
+	// superset of the shorter one's valid prefix. List order must never
+	// decide (it would always favour .gz, even when stale and shorter).
+	type target struct {
+		name   string
+		isCkpt bool
+	}
+	byName := make(map[target][]string)
+	var order []target
 	for _, key := range keys {
 		name, isCkpt, ok := localName(key)
 		if !ok {
 			continue // foreign object under the prefix; not ours to judge
 		}
-		data, err := getRetry(store, key, &info)
-		if errors.Is(err, ErrNotExist) {
-			continue // pruned after the listing; its replacement is shipped
+		tgt := target{name: name, isCkpt: isCkpt}
+		if _, seen := byName[tgt]; !seen {
+			order = append(order, tgt)
 		}
-		if err != nil {
-			return info, fmt.Errorf("archive: restoring %q: %w", key, err)
-		}
-		if strings.HasSuffix(key, gzSuffix) {
-			plain, gerr := gunzip(data)
-			if gerr != nil {
-				// Partial-upload debris: a truncated gzip stream fails
-				// its own framing. Skip it — for segments the WAL's
-				// continuity rules bound the loss, for checkpoints an
-				// older restored one takes over.
-				info.BadObjects++
-				continue
+		byName[tgt] = append(byName[tgt], key)
+	}
+	for _, tgt := range order {
+		var best []byte
+		haveBest := false
+		for _, key := range byName[tgt] {
+			data, err := getRetry(store, key, &info)
+			if errors.Is(err, ErrNotExist) {
+				continue // pruned after the listing; its replacement is shipped
 			}
-			data = plain
+			if err != nil {
+				return info, fmt.Errorf("archive: restoring %q: %w", key, err)
+			}
+			if strings.HasSuffix(key, gzSuffix) {
+				plain, gerr := gunzip(data)
+				if gerr != nil {
+					// Partial-upload debris: a truncated gzip stream fails
+					// its own framing. Skip it — for segments the WAL's
+					// continuity rules bound the loss, for checkpoints an
+					// older restored one takes over.
+					info.BadObjects++
+					continue
+				}
+				data = plain
+			}
+			if !haveBest || len(data) > len(best) {
+				best, haveBest = data, true
+			}
 		}
-		if err := writeAtomic(dir, name, data); err != nil {
+		if !haveBest {
+			continue
+		}
+		if err := writeAtomic(dir, tgt.name, best); err != nil {
 			return info, err
 		}
-		if isCkpt {
+		if tgt.isCkpt {
 			info.Checkpoints++
 		} else {
 			info.Segments++
 		}
-		info.Bytes += int64(len(data))
+		info.Bytes += int64(len(best))
 	}
 	if err := syncDir(dir); err != nil {
 		return info, err

@@ -2,7 +2,10 @@ package archive
 
 import (
 	"bytes"
+	"compress/gzip"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -162,6 +165,66 @@ func TestRestoreSkipsPartialUploadDebris(t *testing.T) {
 	}
 	if got != len(wantSeqs) {
 		t.Fatalf("replayed %d records, want %d", got, len(wantSeqs))
+	}
+}
+
+// TestRestorePrefersLongerVariant covers the Compress toggle across
+// restarts: the same segment exists remotely both plain and gzipped,
+// and the variant holding the longer (decompressed) payload must win —
+// not whichever key List happens to sort last. Segments are
+// append-only, so the longer copy is a superset of the shorter one.
+func TestRestorePrefersLongerVariant(t *testing.T) {
+	gz := func(data []byte) []byte {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatalf("gzip: %v", err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatalf("gzip close: %v", err)
+		}
+		return buf.Bytes()
+	}
+	long := bytes.Repeat([]byte("record-bytes"), 20)
+	short := long[:24]
+	for _, tc := range []struct {
+		name      string
+		plain, gz []byte
+	}{
+		// List sorts "x.log" before "x.log.gz", so last-writer-by-order
+		// would always pick the gz body; the first case proves it does
+		// not when the gz copy is the stale shorter one.
+		{name: "plain-longer", plain: long, gz: gz(short)},
+		{name: "gz-longer", plain: short, gz: gz(long)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			store, err := NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatalf("NewDirStore: %v", err)
+			}
+			const segName = "wal-0000000000000001.log"
+			if err := store.Put(segKeyPrefix+segName, tc.plain); err != nil {
+				t.Fatalf("Put plain: %v", err)
+			}
+			if err := store.Put(segKeyPrefix+segName+gzSuffix, tc.gz); err != nil {
+				t.Fatalf("Put gz: %v", err)
+			}
+			dir := t.TempDir()
+			info, err := Restore(store, dir)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if info.Segments != 1 || info.Bytes != int64(len(long)) {
+				t.Fatalf("restore info %+v, want 1 segment of %d bytes", info, len(long))
+			}
+			got, err := os.ReadFile(filepath.Join(dir, segName))
+			if err != nil {
+				t.Fatalf("reading restored segment: %v", err)
+			}
+			if !bytes.Equal(got, long) {
+				t.Fatalf("restored %d bytes, want the %d-byte variant", len(got), len(long))
+			}
+		})
 	}
 }
 

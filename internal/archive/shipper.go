@@ -228,6 +228,11 @@ func (s *Shipper) run() {
 	for {
 		select {
 		case t := <-s.queue:
+			// The head is the oldest pending task (in-flight counts as
+			// pending); pin its age so LagSeconds tracks it, not a task
+			// that already shipped. The next dequeue overwrites, the
+			// empty-queue path below clears.
+			s.oldestNanos.Store(t.enqueued.UnixNano())
 			s.process(t, false)
 			if len(s.queue) == 0 {
 				s.oldestNanos.Store(0)
@@ -295,6 +300,13 @@ func (s *Shipper) ship(t shipTask) error {
 	if err := s.store.Put(key, data); err != nil {
 		return err
 	}
+	// Toggling Compress across restarts changes a segment's remote key
+	// (.gz appended or not); drop the sibling variant so a restore never
+	// has to choose between a fresh copy and a stale one. Best-effort —
+	// Restore's longer-variant rule is the backstop if this Delete fails.
+	if sibling := siblingKey(key); sibling != "" {
+		_ = s.store.Delete(sibling)
+	}
 	s.shipped.Add(1)
 	s.shippedBytes.Add(uint64(len(data)))
 	s.readBytes.Add(uint64(len(raw)))
@@ -324,6 +336,18 @@ func (s *Shipper) encode(t shipTask, raw []byte) (string, []byte) {
 		return segKeyPrefix + t.name + gzSuffix, buf.Bytes()
 	}
 	return segKeyPrefix + t.name, raw
+}
+
+// siblingKey returns the other compression variant of a segment key
+// ("" for checkpoints, which ship under one key regardless of format).
+func siblingKey(key string) string {
+	if !strings.HasPrefix(key, segKeyPrefix) {
+		return ""
+	}
+	if strings.HasSuffix(key, gzSuffix) {
+		return strings.TrimSuffix(key, gzSuffix)
+	}
+	return key + gzSuffix
 }
 
 // pruneRemote mirrors wal.prune on the remote: once a checkpoint
@@ -431,6 +455,7 @@ func (s *Shipper) drain() {
 	for {
 		select {
 		case t := <-s.queue:
+			s.oldestNanos.Store(t.enqueued.UnixNano())
 			s.process(t, true)
 		default:
 			s.oldestNanos.Store(0)

@@ -1,6 +1,9 @@
 package archive
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -211,5 +214,41 @@ func TestShipperCompressesSegments(t *testing.T) {
 	}
 	if err := ship.Close(5 * time.Second); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestShipperDeletesSiblingVariant covers the Compress toggle: a
+// shipper re-uploading a segment under its new key must remove the old
+// variant, so a restore never finds both and has to arbitrate.
+func TestShipperDeletesSiblingVariant(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	walDir := t.TempDir()
+	// The previous incarnation ran with Compress on and shipped this
+	// segment gzipped; this one runs with Compress off.
+	const segName = "wal-0000000000000001.log"
+	if err := os.WriteFile(filepath.Join(walDir, segName), []byte("sealed segment bytes"), 0o644); err != nil {
+		t.Fatalf("writing local segment: %v", err)
+	}
+	if err := store.Put(segKeyPrefix+segName+gzSuffix, []byte("stale gz body")); err != nil {
+		t.Fatalf("planting stale variant: %v", err)
+	}
+	ship, err := NewShipper(ShipperOptions{Dir: walDir, Store: store, RetryBase: time.Millisecond, ResyncEvery: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewShipper: %v", err)
+	}
+	ship.Start()
+	ship.NoteSegmentSealed(segName, 6)
+	waitFor(t, "segment shipped plain", func() bool { return ship.Stats().Shipped >= 1 })
+	if err := ship.Close(5 * time.Second); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := store.Get(segKeyPrefix + segName); err != nil {
+		t.Fatalf("plain variant missing after ship: %v", err)
+	}
+	if _, err := store.Get(segKeyPrefix + segName + gzSuffix); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stale gz variant survived the ship (err %v)", err)
 	}
 }

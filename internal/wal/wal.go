@@ -427,9 +427,23 @@ func (l *Log) scanSegments() error {
 			return fmt.Errorf("wal: reading segment %s: %w", meta.name, err)
 		}
 
-		if len(data) < segHeaderLen || string(data[:8]) != string(segMagic[:]) ||
-			binary.LittleEndian.Uint64(data[8:16]) != meta.firstSeq ||
-			(expect != 0 && meta.firstSeq != expect) {
+		headerOK := len(data) >= segHeaderLen && string(data[:8]) == string(segMagic[:]) &&
+			binary.LittleEndian.Uint64(data[8:16]) == meta.firstSeq
+		if headerOK && expect != 0 && meta.firstSeq != expect {
+			// A sequence gap between segments normally proves the later
+			// one unreachable — unless the checkpoint covers the gap
+			// entirely. That state is left behind when a torn tail is
+			// truncated below the checkpoint boundary: appends restart in
+			// a fresh segment at ckptNext while the stale pre-checkpoint
+			// tail stays on disk until the next prune, and a second crash
+			// must not cost the fresh segment's acknowledged records.
+			if expect <= l.ckptNext && meta.firstSeq == l.ckptNext {
+				expect = meta.firstSeq
+			} else {
+				headerOK = false
+			}
+		}
+		if !headerOK {
 			// Bad or discontiguous header: nothing in this segment is
 			// provably part of the acknowledged prefix.
 			valid = false
@@ -506,13 +520,17 @@ func parseRecord(data []byte, expectSeq uint64) ([]byte, int, bool) {
 		return nil, 0, false
 	}
 	n := binary.LittleEndian.Uint32(data[:recHeaderLen])
-	if n < recSeqLen || int64(n) > maxRecordBytes {
+	if n < recSeqLen || int64(n) >= maxRecordBytes {
 		return nil, 0, false
 	}
-	total := recHeaderLen + int(n) + recTrailerLen
-	if len(data) < total {
+	// Framing arithmetic stays in int64: on 32-bit platforms a hostile
+	// length near the bound would overflow int into a negative slice
+	// index, and recovery must never panic on corrupt input.
+	total64 := int64(recHeaderLen) + int64(n) + int64(recTrailerLen)
+	if int64(len(data)) < total64 {
 		return nil, 0, false
 	}
+	total := int(total64)
 	body := data[recHeaderLen : recHeaderLen+int(n)]
 	sum := binary.LittleEndian.Uint32(data[recHeaderLen+int(n):])
 	if crc32.ChecksumIEEE(body) != sum {

@@ -642,6 +642,112 @@ func TestCheckpointNewerThanRecords(t *testing.T) {
 	}
 }
 
+// TestCheckpointBridgesTruncatedTail is the double-crash regression:
+// a torn tail truncated BELOW the checkpoint boundary leaves the stale
+// pre-checkpoint segment on disk while appends restart in a fresh
+// segment at ckptNext. The second recovery sees a sequence gap between
+// the two segments and must treat the checkpoint as bridging it —
+// never drop the fresh segment's acknowledged, fsynced records.
+func TestCheckpointBridgesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendAll(t, l, payloads(10))
+	if err := l.SaveCheckpoint([]byte("state at 10")); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	segName := l.segments[0].name
+	l.Close()
+
+	// Crash one: tear the tail mid-record so recovery truncates the
+	// segment back below the checkpoint boundary (seq 11).
+	segPath := filepath.Join(dir, segName)
+	fi, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := os.Truncate(segPath, fi.Size()-5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("first recovery: %v", err)
+	}
+	info := re.Info()
+	if !info.HasCheckpoint || info.CheckpointSeq != 11 || info.TruncatedSegment == "" || info.RecordsReplayable != 0 {
+		t.Fatalf("first recovery info %+v, want truncated tail under checkpoint 11", info)
+	}
+	// The truncated tail cannot host seq 11 (there would be a gap
+	// inside it), so this lands in a fresh segment — while the stale
+	// one stays behind until the next prune.
+	seq, err := re.Append([]byte("survivor"))
+	if err != nil || seq != 11 {
+		t.Fatalf("Append = (%d, %v), want seq 11", seq, err)
+	}
+	if err := re.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	re.Close()
+
+	// Crash two: recovery over [stale 1..9][fresh 11..] must keep the
+	// fresh segment — the checkpoint covers the gap.
+	again, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	info = again.Info()
+	if info.DroppedSegments != 0 {
+		t.Fatalf("second recovery dropped %d segment(s): %+v", info.DroppedSegments, info)
+	}
+	seqs, got := collect(t, again)
+	if len(got) != 1 || seqs[0] != 11 || string(got[0]) != "survivor" {
+		t.Fatalf("second recovery replay = (%v, %q), want seq 11 %q", seqs, got, "survivor")
+	}
+	// The sequence keeps extending past the bridge, and a checkpoint
+	// finally prunes the stale pre-checkpoint segment away.
+	if seq, err := again.Append([]byte("onward")); err != nil || seq != 12 {
+		t.Fatalf("Append after bridge = (%d, %v), want seq 12", seq, err)
+	}
+	if err := again.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := again.SaveCheckpoint([]byte("state at 12")); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	if _, err := os.Stat(segPath); !os.IsNotExist(err) {
+		t.Fatalf("stale pre-checkpoint segment survived the prune (err %v)", err)
+	}
+	again.Close()
+
+	final, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("third recovery: %v", err)
+	}
+	defer final.Close()
+	if info := final.Info(); info.DroppedSegments != 0 || info.RecordsReplayable != 0 || info.CheckpointSeq != 13 {
+		t.Fatalf("third recovery info %+v, want clean log under checkpoint 13", info)
+	}
+}
+
+// TestParseRecordLengthBound pins the corruption guard at exactly
+// maxRecordBytes: a hostile length prefix at or past the bound must be
+// rejected before any int conversion can overflow on 32-bit platforms.
+func TestParseRecordLengthBound(t *testing.T) {
+	for _, n := range []uint64{maxRecordBytes, maxRecordBytes - 1, 1<<32 - 1} {
+		data := make([]byte, 64)
+		data[0] = byte(n)
+		data[1] = byte(n >> 8)
+		data[2] = byte(n >> 16)
+		data[3] = byte(n >> 24)
+		if _, _, ok := parseRecord(data, 1); ok {
+			t.Fatalf("parseRecord accepted a record claiming %d bytes", n)
+		}
+	}
+}
+
 func TestNoSyncMode(t *testing.T) {
 	dir := t.TempDir()
 	ffs := NewFaultFS(nil)
