@@ -7,7 +7,7 @@
 //	experiments: table2, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 //	             fig13, fig14, fig15 (alias table4), fig16, fig17,
 //	             ablation, index, throughput, serve, parallel, e2e,
-//	             wal, overload, dr, all
+//	             wal, overload, dr, tenants, all
 //
 // Flags control the workload scale; the defaults are large enough to
 // reproduce the paper's curve shapes while finishing in minutes on a
@@ -35,6 +35,7 @@ var (
 	walJSON        string
 	overloadJSON   string
 	drJSON         string
+	tenancyJSON    string
 	minSpeedup     float64
 )
 
@@ -52,6 +53,13 @@ func main() {
 	if os.Getenv("EDMBENCH_OVERLOAD_CHILD") == "1" {
 		if err := bench.RunOverloadChild(); err != nil {
 			fmt.Fprintf(os.Stderr, "edmbench: overload child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if os.Getenv("EDMBENCH_TENANTS_CHILD") == "1" {
+		if err := bench.RunTenantsChild(); err != nil {
+			fmt.Fprintf(os.Stderr, "edmbench: tenants child: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -80,6 +88,8 @@ func main() {
 		"path of the machine-readable artifact the overload drill writes (empty disables it)")
 	flag.StringVar(&drJSON, "drjson", "BENCH_recovery.json",
 		"path of the machine-readable artifact the disaster-recovery drill writes (empty disables it)")
+	flag.StringVar(&tenancyJSON, "tenancyjson", "BENCH_tenancy.json",
+		"path of the machine-readable artifact the tenants drill writes (empty disables it)")
 	flag.Float64Var(&minSpeedup, "minspeedup", 0,
 		"fail the parallel experiment when the 4-worker speedup falls below this ratio (0 disables; skipped on machines with fewer than 4 CPUs)")
 	flag.Usage = usage
@@ -139,6 +149,14 @@ experiments:
             degraded-mode entry and recovery, and exact survival of
             every acknowledged point across a drain and restart (writes
             the machine-readable BENCH_overload.json artifact)
+  tenants   multi-tenant serving: 32 named streams over the bounded
+            writer pool under a memory budget forcing eviction/revival
+            churn, SIGKILLed mid-traffic and restarted; every stream's
+            recovered clustering must be byte-identical to a solo
+            reference replay of its acknowledged batches, and the
+            aggregate ingest rate must beat the single-stream baseline
+            on multi-core machines (writes the machine-readable
+            BENCH_tenancy.json artifact)
   dr        disaster recovery: a durable serving child ships compressed
             checkpoints and sealed WAL segments to a fault-injected
             object store; a total remote outage must not fail a single
@@ -367,8 +385,20 @@ func run(id string, s bench.Scale) error {
 			}
 			fmt.Printf("wrote %s\n", drJSON)
 		}
+	case "tenants":
+		rep, err := bench.RunTenants(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTenants(rep))
+		if tenancyJSON != "" {
+			if err := bench.WriteTenantsJSON(tenancyJSON, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", tenancyJSON)
+		}
 	case "all":
-		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e", "wal", "overload", "dr"}
+		ids := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "index", "throughput", "serve", "parallel", "e2e", "wal", "overload", "dr", "tenants"}
 		for _, sub := range ids {
 			fmt.Printf("===== %s =====\n", sub)
 			if err := run(sub, s); err != nil {

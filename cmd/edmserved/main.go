@@ -7,16 +7,22 @@
 //
 //	edmserved -radius 0.5 -addr :8080
 //
-// Endpoints:
+// Endpoints (un-prefixed paths alias the "default" stream; prefix any
+// of the /v1/ data endpoints with a stream name — /v1/{stream}/ingest,
+// /v1/{stream}/snapshot, ... — to address a named tenant, lazily
+// created on first ingest and evicted to disk when idle or over the
+// memory budget):
 //
 //	POST /v1/ingest            batched ingest (JSON array or NDJSON body)
 //	POST /v1/assign            classify points against the published snapshot
 //	GET  /v1/snapshot          the published clustering (summaries)
 //	GET  /v1/clusters/{id}     one cluster with member cells and seeds
 //	GET  /v1/events            evolution events; ?cursor=N&wait=30s long-polls
-//	GET  /v1/stats             engine counters + coalescer telemetry
-//	GET  /healthz              liveness (503 while draining)
-//	GET  /metrics              Prometheus text format
+//	GET  /v1/stats             engine counters + coalescer + tenancy telemetry
+//	GET  /v1/streams           every registered stream with state and footprint
+//	DELETE /v1/streams/{name}  checkpoint + evict one stream (revives on touch)
+//	GET  /healthz              liveness (503 while draining; per-stream detail lines)
+//	GET  /metrics              Prometheus text format (stream-labeled series)
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
 // accepting, in-flight requests finish, parked long-polls return, and
@@ -30,6 +36,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -75,6 +83,57 @@ type cliConfig struct {
 	recoveryBudget     time.Duration
 	checkpointCompress bool
 	restoreFromArchive bool
+
+	maxStreams     int
+	writerPool     int
+	memoryBudget   sizeFlag
+	evictIdleAfter time.Duration
+	sweepInterval  time.Duration
+}
+
+// sizeFlag is a byte count flag accepting plain integers or binary
+// suffixes: 1048576, 64KiB, 512MiB, 2GiB (also the K/M/G shorthands).
+type sizeFlag int64
+
+func (s *sizeFlag) String() string { return strconv.FormatInt(int64(*s), 10) }
+
+func (s *sizeFlag) Set(v string) error {
+	n, err := parseSize(v)
+	if err != nil {
+		return err
+	}
+	*s = sizeFlag(n)
+	return nil
+}
+
+func parseSize(v string) (int64, error) {
+	str := strings.TrimSpace(v)
+	mult := int64(1)
+	lower := strings.ToLower(str)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{
+		{"gib", 1 << 30}, {"mib", 1 << 20}, {"kib", 1 << 10},
+		{"g", 1 << 30}, {"m", 1 << 20}, {"k", 1 << 10}, {"b", 1},
+	} {
+		if strings.HasSuffix(lower, suf.s) {
+			mult = suf.m
+			str = strings.TrimSpace(str[:len(str)-len(suf.s)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(str, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("size %q: want an integer byte count with an optional KiB/MiB/GiB suffix", v)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("size %q must be non-negative", v)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q overflows", v)
+	}
+	return n * mult, nil
 }
 
 func registerFlags(fs *flag.FlagSet, c *cliConfig) {
@@ -111,6 +170,11 @@ func registerFlags(fs *flag.FlagSet, c *cliConfig) {
 	fs.DurationVar(&c.recoveryBudget, "recovery-budget", 0, "target crash-recovery replay time; checkpoints fire early to keep the estimated replay under it (0 = count-based checkpoints only)")
 	fs.BoolVar(&c.checkpointCompress, "checkpoint-compress", false, "gzip checkpoint payloads on disk (CRC still covers the uncompressed snapshot)")
 	fs.BoolVar(&c.restoreFromArchive, "restore-from-archive", false, "rebuild an empty -data-dir from the remote archive before serving; refused if local WAL state exists")
+	fs.IntVar(&c.maxStreams, "max-streams", 0, "max named streams, live + evicted (0 = default 1024)")
+	fs.IntVar(&c.writerPool, "writer-pool", 0, "shared ingest writer goroutines all streams multiplex over, round-robin (0 = GOMAXPROCS)")
+	fs.Var(&c.memoryBudget, "memory-budget", "global resident-memory target for all live streams, e.g. 512MiB; least-recently-used idle streams are checkpointed to disk and evicted past it (0 = unlimited; requires -data-dir)")
+	fs.DurationVar(&c.evictIdleAfter, "evict-idle-after", 0, "checkpoint + evict streams untouched this long (0 = never; requires -data-dir)")
+	fs.DurationVar(&c.sweepInterval, "sweep-interval", 0, "eviction sweep cadence (0 = default 1s)")
 }
 
 // buildOptions maps the flags to library options. Validation happens
@@ -157,6 +221,17 @@ func buildServerConfig(c cliConfig) server.Config {
 		RecoveryBudget:     c.recoveryBudget,
 		CheckpointCompress: c.checkpointCompress,
 		RestoreFromArchive: c.restoreFromArchive,
+
+		MaxStreams:     c.maxStreams,
+		WriterPool:     c.writerPool,
+		MemoryBudget:   int64(c.memoryBudget),
+		EvictIdleAfter: c.evictIdleAfter,
+		SweepInterval:  c.sweepInterval,
+		// Named streams clone the engine options the default stream was
+		// built with: one daemon, one clustering geometry, many tenants.
+		NewEngine: func() (*edmstream.Clusterer, error) {
+			return edmstream.New(buildOptions(c))
+		},
 	}
 }
 

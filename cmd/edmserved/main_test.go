@@ -128,3 +128,99 @@ func TestFlagDefaults(t *testing.T) {
 		t.Errorf("default server config invalid: %v", err)
 	}
 }
+
+// TestTenancyFlagMapping pins the multi-tenant knobs: each flag lands
+// in its server.Config field, the engine factory is wired, and the
+// combination validates (budget/idle eviction require -data-dir).
+func TestTenancyFlagMapping(t *testing.T) {
+	fs := flag.NewFlagSet("edmserved", flag.ContinueOnError)
+	var cfg cliConfig
+	registerFlags(fs, &cfg)
+	err := fs.Parse([]string{
+		"-radius", "0.5",
+		"-data-dir", t.TempDir(),
+		"-max-streams", "64",
+		"-writer-pool", "4",
+		"-memory-budget", "512MiB",
+		"-evict-idle-after", "10m",
+		"-sweep-interval", "250ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := buildServerConfig(cfg)
+	if sc.MaxStreams != 64 || sc.WriterPool != 4 ||
+		sc.MemoryBudget != 512<<20 ||
+		sc.EvictIdleAfter != 10*time.Minute ||
+		sc.SweepInterval != 250*time.Millisecond {
+		t.Errorf("tenancy config mapping wrong: %+v", sc)
+	}
+	if sc.NewEngine == nil {
+		t.Fatal("NewEngine factory not wired")
+	}
+	c, err := sc.NewEngine()
+	if err != nil || c == nil {
+		t.Fatalf("NewEngine() = %v, %v; want a clusterer built from the flags", c, err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("mapped tenancy config invalid: %v", err)
+	}
+
+	// Budget and idle eviction need somewhere to checkpoint to: the
+	// flag surface and server-side validation must agree.
+	for _, args := range [][]string{
+		{"-memory-budget", "512MiB"},
+		{"-evict-idle-after", "10m"},
+	} {
+		fs2 := flag.NewFlagSet("edmserved", flag.ContinueOnError)
+		var cfg2 cliConfig
+		registerFlags(fs2, &cfg2)
+		if err := fs2.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if err := buildServerConfig(cfg2).Validate(); err == nil {
+			t.Errorf("%v without -data-dir validated; want error", args)
+		}
+	}
+
+	// A budget below one engine's floor is rejected at parse-adjacent
+	// validation, not discovered as eviction churn in production.
+	fs3 := flag.NewFlagSet("edmserved", flag.ContinueOnError)
+	var cfg3 cliConfig
+	registerFlags(fs3, &cfg3)
+	if err := fs3.Parse([]string{"-data-dir", t.TempDir(), "-memory-budget", "1024"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildServerConfig(cfg3).Validate(); err == nil {
+		t.Error("sub-floor -memory-budget validated; want error")
+	}
+}
+
+// TestParseSize pins the -memory-budget value syntax.
+func TestParseSize(t *testing.T) {
+	good := map[string]int64{
+		"0":       0,
+		"1048576": 1 << 20,
+		"64KiB":   64 << 10,
+		"512MiB":  512 << 20,
+		"2GiB":    2 << 30,
+		"2gib":    2 << 30,
+		"128k":    128 << 10,
+		"16M":     16 << 20,
+		"1G":      1 << 30,
+		"4096b":   4096,
+		" 8 MiB ": 8 << 20,
+	}
+	for in, want := range good {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "MiB", "-1", "-4KiB", "1.5GiB", "9999999999GiB", "10TiB"} {
+		if got, err := parseSize(in); err == nil {
+			t.Errorf("parseSize(%q) = %d; want error", in, got)
+		}
+	}
+}

@@ -160,6 +160,41 @@ func (s *DirStore) Delete(key string) error {
 	return nil
 }
 
+// PrefixStore returns a view of store with every key prefixed — the
+// namespacing seam multi-tenant serving uses to give each stream its
+// own corner of one shared archive ("streams/<name>/"). The shipper
+// and restore see their usual seg/ and ckpt/ layout; the prefix is
+// invisible to them. prefix should end with "/".
+func PrefixStore(store ObjectStore, prefix string) ObjectStore {
+	if prefix == "" {
+		return store
+	}
+	return &prefixStore{inner: store, prefix: prefix}
+}
+
+type prefixStore struct {
+	inner  ObjectStore
+	prefix string
+}
+
+func (s *prefixStore) Put(key string, data []byte) error { return s.inner.Put(s.prefix+key, data) }
+func (s *prefixStore) Get(key string) ([]byte, error)    { return s.inner.Get(s.prefix + key) }
+func (s *prefixStore) Delete(key string) error           { return s.inner.Delete(s.prefix + key) }
+
+func (s *prefixStore) List(prefix string) ([]string, error) {
+	keys, err := s.inner.List(s.prefix + prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := keys[:0]
+	for _, k := range keys {
+		if rest, ok := strings.CutPrefix(k, s.prefix); ok {
+			out = append(out, rest)
+		}
+	}
+	return out, nil
+}
+
 // OpenStore resolves an archive URL to a store. Today the schemes are
 // "file://<path>" and a bare filesystem path; the interface is the seam
 // where an S3/GCS client would plug in without touching the shipper or

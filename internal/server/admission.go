@@ -21,9 +21,10 @@ var errDegraded = errors.New("server is degraded: write-ahead log unavailable, i
 // clients can branch without parsing prose. See the README runbook for
 // the retry guidance each one implies.
 const (
-	reasonOverloaded = "overloaded" // 429: retry after Retry-After
-	reasonDegraded   = "degraded"   // 503: WAL down, recovery probe running
-	reasonDraining   = "draining"   // 503: shutting down, go elsewhere
+	reasonOverloaded    = "overloaded"     // 429: retry after Retry-After
+	reasonDegraded      = "degraded"       // 503: WAL down, recovery probe running
+	reasonDraining      = "draining"       // 503: shutting down, go elsewhere
+	reasonUnknownStream = "unknown_stream" // 404: stream never created; POST ingest creates it
 )
 
 // admission is the ingest admission controller plus the read-path
@@ -83,11 +84,11 @@ type degradedState struct {
 	recovered *obs.Counter
 }
 
-func newDegradedState(reg *obs.Registry) *degradedState {
+func newDegradedState(reg *obs.Registry, labels string) *degradedState {
 	return &degradedState{
-		gauge:     reg.Gauge("edmserved_degraded", ""),
-		entered:   reg.Counter("edmserved_degraded_entered_total", ""),
-		recovered: reg.Counter("edmserved_degraded_recovered_total", ""),
+		gauge:     reg.Gauge("edmserved_degraded", labels),
+		entered:   reg.Counter("edmserved_degraded_entered_total", labels),
+		recovered: reg.Counter("edmserved_degraded_recovered_total", labels),
 	}
 }
 

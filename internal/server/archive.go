@@ -27,22 +27,22 @@ type archiveMetrics struct {
 	shippedCkpSeq *obs.Gauge
 }
 
-func newArchiveMetrics(reg *obs.Registry) *archiveMetrics {
+func newArchiveMetrics(reg *obs.Registry, labels string) *archiveMetrics {
 	return &archiveMetrics{
-		shipped:       reg.Gauge("edmserved_archive_shipped_objects", ""),
-		shippedBytes:  reg.Gauge("edmserved_archive_shipped_bytes", ""),
-		readBytes:     reg.Gauge("edmserved_archive_read_bytes", ""),
-		failed:        reg.Gauge("edmserved_archive_failed_uploads", ""),
-		retried:       reg.Gauge("edmserved_archive_upload_retries", ""),
-		dropped:       reg.Gauge("edmserved_archive_dropped_notifications", ""),
-		skipped:       reg.Gauge("edmserved_archive_skipped_uploads", ""),
-		pruned:        reg.Gauge("edmserved_archive_pruned_objects", ""),
-		lagObjects:    reg.Gauge("edmserved_archive_lag_objects", ""),
-		lagRecords:    reg.Gauge("edmserved_archive_lag_records", ""),
-		lagSecondsK:   reg.Gauge("edmserved_archive_lag_seconds_x1000", ""),
-		lagging:       reg.Gauge("edmserved_archive_lagging", ""),
-		shippedSeq:    reg.Gauge("edmserved_archive_shipped_through_seq", ""),
-		shippedCkpSeq: reg.Gauge("edmserved_archive_shipped_checkpoint_seq", ""),
+		shipped:       reg.Gauge("edmserved_archive_shipped_objects", labels),
+		shippedBytes:  reg.Gauge("edmserved_archive_shipped_bytes", labels),
+		readBytes:     reg.Gauge("edmserved_archive_read_bytes", labels),
+		failed:        reg.Gauge("edmserved_archive_failed_uploads", labels),
+		retried:       reg.Gauge("edmserved_archive_upload_retries", labels),
+		dropped:       reg.Gauge("edmserved_archive_dropped_notifications", labels),
+		skipped:       reg.Gauge("edmserved_archive_skipped_uploads", labels),
+		pruned:        reg.Gauge("edmserved_archive_pruned_objects", labels),
+		lagObjects:    reg.Gauge("edmserved_archive_lag_objects", labels),
+		lagRecords:    reg.Gauge("edmserved_archive_lag_records", labels),
+		lagSecondsK:   reg.Gauge("edmserved_archive_lag_seconds_x1000", labels),
+		lagging:       reg.Gauge("edmserved_archive_lagging", labels),
+		shippedSeq:    reg.Gauge("edmserved_archive_shipped_through_seq", labels),
+		shippedCkpSeq: reg.Gauge("edmserved_archive_shipped_checkpoint_seq", labels),
 	}
 }
 

@@ -116,7 +116,7 @@ func TestArchiveOutageNeverFailsIngest(t *testing.T) {
 	}
 	// The archive gauges export too.
 	if m := getBody(t, base+"/metrics"); !strings.Contains(m, "edmserved_archive_shipped_objects") ||
-		!strings.Contains(m, "edmserved_archive_lag_records 0") {
+		!strings.Contains(m, `edmserved_archive_lag_records{stream="default"} 0`) {
 		t.Fatalf("metrics missing archive series:\n%s", m)
 	}
 }
@@ -216,7 +216,7 @@ func TestRecoveryBudgetForcesCheckpoint(t *testing.T) {
 		CheckpointEvery: 1 << 30, // the point-count cadence never bites
 		RecoveryBudget:  500 * time.Millisecond,
 	}.withDefaults()
-	d, err := openDurability(c, cfg, obs.NewRegistry(), nil)
+	d, err := openDurability(c, cfg, cfg.DataDir, "", obs.NewRegistry(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,16 +251,16 @@ func TestRecoveryBudgetForcesCheckpoint(t *testing.T) {
 func TestArchiveConfigValidation(t *testing.T) {
 	dir := t.TempDir()
 	bad := []Config{
-		{ArchiveURL: dir},                                         // archive without DataDir
-		{DataDir: dir, RestoreFromArchive: true},                  // restore without archive
-		{DataDir: dir, ArchiveQueue: 8},                           // shipper knob without archive
-		{DataDir: dir, ArchiveRetryBase: time.Second},             // shipper knob without archive
-		{CheckpointCompress: true},                                // compress without DataDir
-		{RecoveryBudget: time.Second},                             // budget without DataDir
-		{DataDir: dir, ArchiveURL: dir, ArchiveQueue: -1},         // negative queue
-		{DataDir: dir, ArchiveURL: dir, ArchiveRetryBase: -1},     // negative backoff
-		{DataDir: dir, ArchiveURL: dir, ArchiveResync: -1},        // negative resync
-		{DataDir: dir, RecoveryBudget: -1},                        // negative budget
+		{ArchiveURL: dir},                                     // archive without DataDir
+		{DataDir: dir, RestoreFromArchive: true},              // restore without archive
+		{DataDir: dir, ArchiveQueue: 8},                       // shipper knob without archive
+		{DataDir: dir, ArchiveRetryBase: time.Second},         // shipper knob without archive
+		{CheckpointCompress: true},                            // compress without DataDir
+		{RecoveryBudget: time.Second},                         // budget without DataDir
+		{DataDir: dir, ArchiveURL: dir, ArchiveQueue: -1},     // negative queue
+		{DataDir: dir, ArchiveURL: dir, ArchiveRetryBase: -1}, // negative backoff
+		{DataDir: dir, ArchiveURL: dir, ArchiveResync: -1},    // negative resync
+		{DataDir: dir, RecoveryBudget: -1},                    // negative budget
 		{DataDir: dir, ArchiveURL: dir, ArchiveRetryBase: time.Second, ArchiveRetryMax: time.Millisecond}, // max < base
 	}
 	for i, cfg := range bad {

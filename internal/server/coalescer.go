@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/densitymountain/edmstream"
@@ -33,17 +34,39 @@ type ingestReply struct {
 }
 
 // coalescer accumulates concurrently arriving ingest requests into
-// single InsertBatchAssigned calls on the one goroutine that owns the
-// clusterer's write path. A batch is held open for at most the
+// single InsertBatchAssigned calls under single-writer ownership of
+// the clusterer's write path. A batch is held open for at most the
 // coalescing window after its first request and is flushed early when
 // it reaches maxBatch points. Each request's per-point cell acks are
 // carved out of the batch ack slice and delivered on its reply
 // channel.
+//
+// The writer is no longer a dedicated goroutine: runOne performs one
+// bounded pass (gather + flush one batch) and is scheduled through a
+// tenant.Pool handle, whose state machine guarantees runOne never runs
+// concurrently with itself. Every mutation of the coalescer's owned
+// state (carry, reused slices, the engine, the WAL) happens inside
+// runOne, so per-stream semantics are exactly the dedicated-goroutine
+// ones while N streams share a bounded worker set.
 type coalescer struct {
 	c        *edmstream.Clusterer
 	queue    chan *ingestReq
 	window   time.Duration
 	maxBatch int
+
+	// wake schedules a runOne pass (the stream's pool-handle Wake).
+	// Called by submit after every enqueue and by the janitor to
+	// request a degraded-mode probe.
+	wake func()
+
+	// probeWanted is the janitor's probe request flag: runOne services
+	// it first, under the same single-ownership the probe's WAL and
+	// checkpoint writes require.
+	probeWanted atomic.Bool
+
+	// timer is the coalescing-window timer, reused across gathers.
+	// Owned by runOne.
+	timer *time.Timer
 
 	// carry holds a request dequeued during gather that would push
 	// the open batch past maxBatch; it becomes the trigger of the
@@ -51,12 +74,13 @@ type coalescer struct {
 	// the HTTP layer, no committed batch ever exceeds maxBatch points.
 	carry *ingestReq
 
-	// stop is closed (once) to begin shutdown: the run loop drains
-	// whatever is queued, flushes, and closes done on exit. Requests
-	// still queued when the loop exits get errDraining.
+	// stop is closed (once) to begin shutdown: the next runOne pass
+	// drains whatever is queued, flushes, and closes done. Requests
+	// still queued when the drain finishes get errDraining.
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+	doneOnce sync.Once
 
 	// onFlush, when non-nil, runs on the writer goroutine after every
 	// committed batch (the server uses it to detect new evolution
@@ -69,14 +93,12 @@ type coalescer struct {
 	// Owned by the writer goroutine, like the clusterer.
 	dur *durability
 
-	// deg, when non-nil, is the server's degraded-mode state machine:
+	// deg, when non-nil, is the stream's degraded-mode state machine:
 	// an exhausted WAL retry budget flips it on (failing the batch and
-	// everything queued behind it with errDegraded), and the probe
-	// ticker below flips it back off once the log recovers.
+	// everything queued behind it with errDegraded), and a janitor-
+	// requested probe (probeWanted) flips it back off once the log
+	// recovers.
 	deg *degradedState
-	// probeEvery is the degraded-mode recovery probe cadence; zero
-	// disables the ticker (servers without durability).
-	probeEvery time.Duration
 
 	// Telemetry: batch size in points, requests per batch, queue wait
 	// of the oldest request in each batch, successful flush latency
@@ -98,7 +120,7 @@ type coalescer struct {
 	reqs []*ingestReq
 }
 
-func newCoalescer(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) *coalescer {
+func newCoalescer(c *edmstream.Clusterer, cfg Config, reg *obs.Registry, labels string) *coalescer {
 	return &coalescer{
 		c:             c,
 		queue:         make(chan *ingestReq, cfg.MaxPending),
@@ -106,15 +128,15 @@ func newCoalescer(c *edmstream.Clusterer, cfg Config, reg *obs.Registry) *coales
 		maxBatch:      cfg.MaxBatch,
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
-		batchSize:     reg.Sample("edmserved_coalescer_batch_points", ""),
-		batchReqs:     reg.Sample("edmserved_coalescer_batch_requests", ""),
-		batchWait:     reg.Timing("edmserved_coalescer_batch_wait_seconds", ""),
-		flushSeconds:  reg.Timing("edmserved_coalescer_flush_seconds", ""),
-		batches:       reg.Counter("edmserved_coalescer_batches_total", ""),
-		pointsTotal:   reg.Counter("edmserved_coalescer_points_total", ""),
-		pending:       reg.Gauge("edmserved_coalescer_pending_requests", ""),
-		rejectsTotal:  reg.Counter("edmserved_coalescer_rejects_total", ""),
-		clientCancels: reg.Counter("edmserved_coalescer_client_cancels_total", ""),
+		batchSize:     reg.Sample("edmserved_coalescer_batch_points", labels),
+		batchReqs:     reg.Sample("edmserved_coalescer_batch_requests", labels),
+		batchWait:     reg.Timing("edmserved_coalescer_batch_wait_seconds", labels),
+		flushSeconds:  reg.Timing("edmserved_coalescer_flush_seconds", labels),
+		batches:       reg.Counter("edmserved_coalescer_batches_total", labels),
+		pointsTotal:   reg.Counter("edmserved_coalescer_points_total", labels),
+		pending:       reg.Gauge("edmserved_coalescer_pending_requests", labels),
+		rejectsTotal:  reg.Counter("edmserved_coalescer_rejects_total", labels),
+		clientCancels: reg.Counter("edmserved_coalescer_client_cancels_total", labels),
 	}
 }
 
@@ -136,6 +158,11 @@ func (co *coalescer) submit(ctx context.Context, pts []edmstream.Point) ([]int64
 	select {
 	case co.queue <- req:
 		co.pending.Add(1)
+		if co.wake != nil {
+			// Schedule a writer pass; Wake coalesces with a pass already
+			// queued or re-arms one in flight, so a burst costs one wake.
+			co.wake()
+		}
 	case <-co.stop:
 		co.rejectsTotal.Inc()
 		return nil, errDraining
@@ -155,8 +182,8 @@ func (co *coalescer) submit(ctx context.Context, pts []edmstream.Point) ([]int64
 	case rep := <-req.reply:
 		return rep.cells, rep.err
 	case <-co.done:
-		// The run loop exited; it may have serviced this request just
-		// before exiting, so prefer a waiting reply over the error.
+		// The writer drained and exited; it may have serviced this
+		// request just before exiting, so prefer a waiting reply.
 		select {
 		case rep := <-req.reply:
 			return rep.cells, rep.err
@@ -168,50 +195,38 @@ func (co *coalescer) submit(ctx context.Context, pts []edmstream.Point) ([]int64
 	}
 }
 
-// run is the writer loop. It owns every mutating call on the
-// clusterer for the life of the server.
-func (co *coalescer) run() {
-	defer close(co.done)
-	var timer *time.Timer
-	defer func() {
-		if timer != nil {
-			timer.Stop()
-		}
-	}()
-	// The degraded-mode recovery probe shares the writer goroutine (the
-	// WAL has a single owner), waking on a ticker while the loop would
-	// otherwise sit idle — exactly the state a degraded server is in,
-	// since ingest is refused at the door.
-	var probeC <-chan time.Time
-	if co.dur != nil && co.probeEvery > 0 {
-		ticker := time.NewTicker(co.probeEvery)
-		defer ticker.Stop()
-		probeC = ticker.C
+// runOne is one writer pass, executed with single-ownership by a
+// tenant.Pool worker: service a requested degraded-mode recovery
+// probe, then gather and flush at most one batch. It returns true when
+// work is already queued behind it, in which case the pool re-queues
+// the stream at the tail of the ready queue — round-robin across
+// streams, so a hot tenant gets one batch per round and cannot starve
+// the rest. Once stop is closed the pass drains everything queued and
+// closes done; later wakes are harmless no-ops.
+func (co *coalescer) runOne() bool {
+	if co.probeWanted.CompareAndSwap(true, false) {
+		co.probe()
 	}
-	for {
-		var first *ingestReq
-		if co.carry != nil {
-			first, co.carry = co.carry, nil
-		} else {
-			select {
-			case first = <-co.queue:
-			case <-probeC:
-				co.probe()
-				continue
-			case <-co.stop:
-				co.drain()
-				return
-			}
-		}
-		co.gather(first, &timer)
-		co.flush()
+	select {
+	case <-co.stop:
+		co.drain()
+		co.doneOnce.Do(func() { close(co.done) })
+		return false
+	default:
+	}
+	var first *ingestReq
+	if co.carry != nil {
+		first, co.carry = co.carry, nil
+	} else {
 		select {
-		case <-co.stop:
-			co.drain()
-			return
+		case first = <-co.queue:
 		default:
+			return false
 		}
 	}
+	co.gather(first)
+	co.flush()
+	return co.carry != nil || len(co.queue) > 0
 }
 
 // probe attempts automatic recovery from degraded mode: reopen the WAL
@@ -252,7 +267,10 @@ func (co *coalescer) estimateWait() time.Duration {
 // gather collects requests for one batch: the triggering request,
 // then whatever arrives within the coalescing window, up to maxBatch
 // points. With a zero window it takes only what is already queued.
-func (co *coalescer) gather(first *ingestReq, timer **time.Timer) {
+// The window wait holds the pool worker for at most the window — the
+// bounded price of batching, identical to the dedicated-goroutine
+// behavior.
+func (co *coalescer) gather(first *ingestReq) {
 	co.reqs = append(co.reqs[:0], first)
 	npts := len(first.pts)
 
@@ -273,15 +291,15 @@ func (co *coalescer) gather(first *ingestReq, timer **time.Timer) {
 		return
 	}
 
-	if *timer == nil {
-		*timer = time.NewTimer(co.window)
+	if co.timer == nil {
+		co.timer = time.NewTimer(co.window)
 	} else {
-		(*timer).Reset(co.window)
+		co.timer.Reset(co.window)
 	}
 	defer func() {
-		if !(*timer).Stop() {
+		if !co.timer.Stop() {
 			select {
-			case <-(*timer).C:
+			case <-co.timer.C:
 			default:
 			}
 		}
@@ -295,7 +313,7 @@ func (co *coalescer) gather(first *ingestReq, timer **time.Timer) {
 			}
 			co.reqs = append(co.reqs, r)
 			npts += len(r.pts)
-		case <-(*timer).C:
+		case <-co.timer.C:
 			return
 		case <-co.stop:
 			return
@@ -422,8 +440,9 @@ func (co *coalescer) drain() {
 	}
 }
 
-// beginShutdown signals the run loop to drain and exit. It returns
-// immediately; wait on done for completion. Safe to call repeatedly.
+// beginShutdown signals the writer to drain on its next pass. It
+// returns immediately; the caller must Wake the stream's handle so a
+// pass actually runs, then wait on done. Safe to call repeatedly.
 func (co *coalescer) beginShutdown() {
 	co.stopOnce.Do(func() { close(co.stop) })
 }

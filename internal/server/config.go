@@ -24,7 +24,10 @@ package server
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"time"
+
+	"github.com/densitymountain/edmstream"
 
 	"github.com/densitymountain/edmstream/internal/archive"
 	"github.com/densitymountain/edmstream/internal/wal"
@@ -176,6 +179,39 @@ type Config struct {
 	// data directory that already holds WAL state fails the restore
 	// (local state is the durability authority). Requires an archive.
 	RestoreFromArchive bool
+	// NewEngine is the engine factory behind the multi-tenant plane:
+	// the first POST /v1/{stream}/ingest on a new name (and every
+	// revival of an evicted one) builds the stream's clusterer through
+	// it. Nil disables named streams — only the default stream (the
+	// clusterer passed to New) is served, and /v1/{stream}/* requests
+	// on other names fail with 501.
+	NewEngine func() (*edmstream.Clusterer, error)
+	// MaxStreams caps how many stream names the registry holds (live
+	// plus evicted-but-revivable, the default stream included).
+	// Creating past the cap is shed with 429 reason "overloaded". Zero
+	// means the default 1024; negative is invalid.
+	MaxStreams int
+	// WriterPool bounds the shared writer goroutines every stream's
+	// ingest path multiplexes over. Streams take turns batch-by-batch
+	// (round-robin), so one hot tenant cannot starve the rest. Zero
+	// means GOMAXPROCS; negative is invalid.
+	WriterPool int
+	// MemoryBudget is the global resident-footprint target in bytes:
+	// when the estimated memory of all live streams exceeds it, the
+	// janitor checkpoints the least-recently-used idle streams to disk
+	// and releases them (they revive transparently on the next touch).
+	// Zero disables budget-driven eviction. Must be at least
+	// MinMemoryBudget (one engine's floor) and requires DataDir —
+	// eviction without a WAL would lose data.
+	MemoryBudget int64
+	// EvictIdleAfter evicts any stream untouched for this long, budget
+	// pressure or not. Zero disables idle eviction; negative is
+	// invalid. Requires DataDir.
+	EvictIdleAfter time.Duration
+	// SweepInterval is the janitor cadence: how often the eviction
+	// sweep (memory budget + idle age) runs. Zero means the default 1s;
+	// negative is invalid.
+	SweepInterval time.Duration
 }
 
 // Defaults.
@@ -200,6 +236,9 @@ const (
 	defaultArchiveRetryBase = 100 * time.Millisecond
 	defaultArchiveRetryMax  = 5 * time.Second
 	defaultArchiveResync    = 30 * time.Second
+
+	defaultMaxStreams    = 1024
+	defaultSweepInterval = time.Second
 )
 
 // archiveConfigured reports whether an archive destination is set.
@@ -253,6 +292,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WALRetryAttempts == 0 {
 		c.WALRetryAttempts = defaultWALRetryAttempts
+	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = defaultMaxStreams
+	}
+	if c.WriterPool == 0 {
+		c.WriterPool = runtime.GOMAXPROCS(0)
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = defaultSweepInterval
 	}
 	// The archive knobs only default when an archive is configured, so
 	// a zero-valued (archiveless) Config stays exactly zero-valued.
@@ -384,6 +432,35 @@ func (c Config) Validate() error {
 		if c.RecoveryBudget > 0 {
 			return fmt.Errorf("server: RecoveryBudget is set but DataDir is empty — there is no WAL to bound recovery for")
 		}
+	}
+	if c.MaxStreams < 0 {
+		return fmt.Errorf("server: MaxStreams must be non-negative (0 means the default %d), got %d", defaultMaxStreams, c.MaxStreams)
+	}
+	if c.MaxStreams == 1 && c.NewEngine != nil {
+		return fmt.Errorf("server: MaxStreams 1 leaves room only for the default stream — the engine factory could never build a named one")
+	}
+	if c.WriterPool < 0 {
+		return fmt.Errorf("server: WriterPool must be non-negative (0 means GOMAXPROCS), got %d", c.WriterPool)
+	}
+	if c.MemoryBudget < 0 {
+		return fmt.Errorf("server: MemoryBudget must be non-negative (0 disables budget eviction), got %d", c.MemoryBudget)
+	}
+	if c.MemoryBudget > 0 {
+		if c.MemoryBudget < MinMemoryBudget {
+			return fmt.Errorf("server: MemoryBudget %d is below one engine's %d-byte floor — it would evict every stream on every sweep", c.MemoryBudget, int64(MinMemoryBudget))
+		}
+		if c.DataDir == "" {
+			return fmt.Errorf("server: MemoryBudget is set but DataDir is empty — evicting a stream without a WAL would lose its data")
+		}
+	}
+	if c.EvictIdleAfter < 0 {
+		return fmt.Errorf("server: EvictIdleAfter must be non-negative (0 disables idle eviction), got %v", c.EvictIdleAfter)
+	}
+	if c.EvictIdleAfter > 0 && c.DataDir == "" {
+		return fmt.Errorf("server: EvictIdleAfter is set but DataDir is empty — evicting a stream without a WAL would lose its data")
+	}
+	if c.SweepInterval < 0 {
+		return fmt.Errorf("server: SweepInterval must be non-negative (0 means the default %v), got %v", defaultSweepInterval, c.SweepInterval)
 	}
 	return nil
 }

@@ -4,7 +4,15 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/densitymountain/edmstream"
 )
+
+// newTestEngine is the factory the tenancy validation rows wire in;
+// validation only checks nil-ness, so the engine itself never builds.
+func newTestEngine() (*edmstream.Clusterer, error) {
+	return edmstream.New(testOptions())
+}
 
 // TestConfigValidate is the options table test: every nonsense value
 // is rejected with an error naming the field, and the documented
@@ -28,6 +36,11 @@ func TestConfigValidate(t *testing.T) {
 		{MaxReadConcurrency: 1},
 		{DegradedProbeInterval: 10 * time.Millisecond},
 		{WALRetryAttempts: 1},
+		{MaxStreams: 2},
+		{WriterPool: 2},
+		{MemoryBudget: MinMemoryBudget, DataDir: "x"},
+		{EvictIdleAfter: time.Minute, DataDir: "x"},
+		{SweepInterval: 100 * time.Millisecond},
 	}
 	for i, cfg := range good {
 		if err := cfg.Validate(); err != nil {
@@ -58,6 +71,21 @@ func TestConfigValidate(t *testing.T) {
 		{Config{MaxReadConcurrency: -1}, "MaxReadConcurrency"},
 		{Config{DegradedProbeInterval: -time.Second}, "DegradedProbeInterval"},
 		{Config{WALRetryAttempts: -1}, "WALRetryAttempts"},
+		{Config{MaxStreams: -1}, "MaxStreams"},
+		// A one-stream cap with a factory wired could never build the
+		// named streams the factory exists for.
+		{Config{MaxStreams: 1, NewEngine: newTestEngine}, "MaxStreams"},
+		{Config{WriterPool: -1}, "WriterPool"},
+		{Config{MemoryBudget: -1}, "MemoryBudget"},
+		// A budget below one engine's floor evicts every stream on
+		// every sweep; reject it up front.
+		{Config{MemoryBudget: MinMemoryBudget - 1, DataDir: "x"}, "MemoryBudget"},
+		// Eviction checkpoints to disk; without a DataDir it would lose
+		// acknowledged data.
+		{Config{MemoryBudget: MinMemoryBudget}, "MemoryBudget"},
+		{Config{EvictIdleAfter: -time.Second}, "EvictIdleAfter"},
+		{Config{EvictIdleAfter: time.Minute}, "EvictIdleAfter"},
+		{Config{SweepInterval: -time.Second}, "SweepInterval"},
 	}
 	for i, tc := range bad {
 		err := tc.cfg.Validate()
@@ -93,5 +121,16 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if want := d.LongPollTimeout + defaultWriteTimeoutSlack; d.WriteTimeout != want {
 		t.Errorf("WriteTimeout default = %v, want LongPollTimeout + slack = %v", d.WriteTimeout, want)
+	}
+	if d.MaxStreams != defaultMaxStreams || d.WriterPool < 1 ||
+		d.SweepInterval != defaultSweepInterval {
+		t.Errorf("tenancy defaults wrong: MaxStreams=%d WriterPool=%d SweepInterval=%v",
+			d.MaxStreams, d.WriterPool, d.SweepInterval)
+	}
+	// Zero budget / zero idle-eviction are real settings (disabled),
+	// not unset markers.
+	if d.MemoryBudget != 0 || d.EvictIdleAfter != 0 {
+		t.Errorf("MemoryBudget/EvictIdleAfter must default to disabled, got %d/%v",
+			d.MemoryBudget, d.EvictIdleAfter)
 	}
 }

@@ -60,15 +60,16 @@ type durability struct {
 	droppedBytes     *obs.Gauge
 }
 
-// openDurability opens (or creates) the WAL in cfg.DataDir and brings
-// the clusterer up to date: restore the newest valid checkpoint, then
-// replay the log tail through the normal batch-ingest path. Engine
-// determinism makes the result byte-identical to the uninterrupted run
-// over the acknowledged prefix.
-func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry, ship *archive.Shipper) (*durability, error) {
+// openDurability opens (or creates) the WAL in dir (the stream's
+// namespaced corner of DataDir) and brings the clusterer up to date:
+// restore the newest valid checkpoint, then replay the log tail
+// through the normal batch-ingest path. Engine determinism makes the
+// result byte-identical to the uninterrupted run over the acknowledged
+// prefix. labels tags every instrument with the owning stream.
+func openDurability(c *edmstream.Clusterer, cfg Config, dir, labels string, reg *obs.Registry, ship *archive.Shipper) (*durability, error) {
 	begin := time.Now()
 	opts := wal.Options{
-		Dir:                 cfg.DataDir,
+		Dir:                 dir,
 		SegmentBytes:        cfg.WALSegmentBytes,
 		NoSync:              cfg.WALNoSync,
 		FS:                  cfg.WALFS,
@@ -80,12 +81,12 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry, ship 
 	}
 	log, err := wal.OpenResilient(opts, wal.RetryPolicy{MaxAttempts: cfg.WALRetryAttempts})
 	if err != nil {
-		return nil, fmt.Errorf("server: opening WAL in %s: %w", cfg.DataDir, err)
+		return nil, fmt.Errorf("server: opening WAL in %s: %w", dir, err)
 	}
 	if ck := log.Checkpoint(); ck != nil {
 		if err := c.RestoreCheckpoint(bytes.NewReader(ck)); err != nil {
 			log.Close()
-			return nil, fmt.Errorf("server: restoring checkpoint from %s: %w", cfg.DataDir, err)
+			return nil, fmt.Errorf("server: restoring checkpoint from %s: %w", dir, err)
 		}
 	}
 	replayBegin := time.Now()
@@ -103,7 +104,7 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry, ship 
 	})
 	if err != nil {
 		log.Close()
-		return nil, fmt.Errorf("server: replaying WAL from %s: %w", cfg.DataDir, err)
+		return nil, fmt.Errorf("server: replaying WAL from %s: %w", dir, err)
 	}
 	var replayRate float64
 	if dur := time.Since(replayBegin).Seconds(); replayedPoints > 0 && dur > 0 {
@@ -111,30 +112,30 @@ func openDurability(c *edmstream.Clusterer, cfg Config, reg *obs.Registry, ship 
 	}
 
 	d := &durability{
-		log:              log,
-		ckptEvery:        cfg.CheckpointEvery,
-		budget:           cfg.RecoveryBudget,
-		replayRate:       replayRate,
+		log:        log,
+		ckptEvery:  cfg.CheckpointEvery,
+		budget:     cfg.RecoveryBudget,
+		replayRate: replayRate,
 		// The replayed tail is NOT yet covered by a checkpoint: seed
 		// the counter so the budget (and CheckpointEvery) see it.
 		sinceCkpt:        replayedPoints,
 		recovery:         log.Info(),
-		fsync:            reg.Timing("edmserved_wal_fsync_seconds", ""),
-		ckptTime:         reg.Timing("edmserved_wal_checkpoint_seconds", ""),
-		records:          reg.Counter("edmserved_wal_records_total", ""),
-		bytesTotal:       reg.Counter("edmserved_wal_bytes_total", ""),
-		checkpoints:      reg.Counter("edmserved_wal_checkpoints_total", ""),
-		ckptErrors:       reg.Counter("edmserved_wal_checkpoint_errors_total", ""),
-		probeFailures:    reg.Counter("edmserved_wal_probe_failures_total", ""),
-		segments:         reg.Gauge("edmserved_wal_segments", ""),
-		retries:          reg.Gauge("edmserved_wal_append_retries", ""),
-		reopens:          reg.Gauge("edmserved_wal_reopens", ""),
-		budgetCkpts:      reg.Counter("edmserved_wal_budget_checkpoints_total", ""),
-		estReplayMs:      reg.Gauge("edmserved_recovery_est_replay_ms", ""),
-		replayRateG:      reg.Gauge("edmserved_recovery_replay_points_per_sec", ""),
-		recoverySeconds:  reg.Gauge("edmserved_wal_recovery_seconds_x1000", ""),
-		recoveredRecords: reg.Gauge("edmserved_wal_recovered_records", ""),
-		droppedBytes:     reg.Gauge("edmserved_wal_recovery_dropped_bytes", ""),
+		fsync:            reg.Timing("edmserved_wal_fsync_seconds", labels),
+		ckptTime:         reg.Timing("edmserved_wal_checkpoint_seconds", labels),
+		records:          reg.Counter("edmserved_wal_records_total", labels),
+		bytesTotal:       reg.Counter("edmserved_wal_bytes_total", labels),
+		checkpoints:      reg.Counter("edmserved_wal_checkpoints_total", labels),
+		ckptErrors:       reg.Counter("edmserved_wal_checkpoint_errors_total", labels),
+		probeFailures:    reg.Counter("edmserved_wal_probe_failures_total", labels),
+		segments:         reg.Gauge("edmserved_wal_segments", labels),
+		retries:          reg.Gauge("edmserved_wal_append_retries", labels),
+		reopens:          reg.Gauge("edmserved_wal_reopens", labels),
+		budgetCkpts:      reg.Counter("edmserved_wal_budget_checkpoints_total", labels),
+		estReplayMs:      reg.Gauge("edmserved_recovery_est_replay_ms", labels),
+		replayRateG:      reg.Gauge("edmserved_recovery_replay_points_per_sec", labels),
+		recoverySeconds:  reg.Gauge("edmserved_wal_recovery_seconds_x1000", labels),
+		recoveredRecords: reg.Gauge("edmserved_wal_recovered_records", labels),
+		droppedBytes:     reg.Gauge("edmserved_wal_recovery_dropped_bytes", labels),
 	}
 	d.segments.Add(int64(log.Stats().Segments))
 	d.recoverySeconds.Add(time.Since(begin).Milliseconds())

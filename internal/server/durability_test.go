@@ -23,7 +23,7 @@ func recoverFresh(t *testing.T, opts edmstream.Options, dir string) *edmstream.C
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := openDurability(c, Config{DataDir: dir}.withDefaults(), obs.NewRegistry(), nil)
+	d, err := openDurability(c, Config{DataDir: dir}.withDefaults(), dir, "", obs.NewRegistry(), nil)
 	if err != nil {
 		t.Fatalf("recovering from %s: %v", dir, err)
 	}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,56 +17,68 @@ import (
 	"github.com/densitymountain/edmstream"
 	"github.com/densitymountain/edmstream/internal/archive"
 	"github.com/densitymountain/edmstream/internal/obs"
+	"github.com/densitymountain/edmstream/internal/tenant"
 	"github.com/densitymountain/edmstream/internal/wal"
 )
 
-// Server serves one Clusterer over HTTP. Create it with New, start it
-// with Start (or drive its Handler directly in tests), and stop it
-// with Shutdown, which drains accepted ingest work before returning.
+// Server serves clusterers over HTTP. Create it with New, start it
+// with Start (or drive its Handler directly in tests after
+// StartDetached), and stop it with Shutdown, which drains accepted
+// ingest work before returning.
 //
-// The server takes ownership of the clusterer's write path: from New
-// until Shutdown returns, no other goroutine may call the clusterer's
-// mutating methods (Insert, InsertBatch, Snapshot, ...). The
-// lock-free read methods remain available to everyone.
+// The server is multi-tenant: /v1/{stream}/... endpoints address named
+// streams, lazily created on first ingest and evicted to disk under
+// memory pressure, while the un-prefixed /v1/... endpoints alias the
+// "default" stream built from the clusterer passed to New. The server
+// takes ownership of every stream engine's write path: from New until
+// Shutdown returns, no other goroutine may call a served clusterer's
+// mutating methods. The lock-free read methods remain available to
+// everyone.
 type Server struct {
-	c   *edmstream.Clusterer
+	c   *edmstream.Clusterer // the default stream's engine
 	cfg Config
 
-	coal *coalescer
-	dur  *durability
 	adm  *admission
-	deg  *degradedState
 	reg  *obs.Registry
 	mux  *http.ServeMux
 	http *http.Server
 
-	// ship is the archive shipper (nil without an archive); archiveM
-	// mirrors its counters into the registry, restored records the
-	// disaster restore New ran (nil if none), and restoreSkipped means
-	// RestoreFromArchive found local WAL state and deferred to it.
+	// pool is the bounded shared writer pool every stream's coalescer
+	// is scheduled on; streams is the named-stream registry (lazy
+	// creation, pin counting, checkpoint-backed LRU eviction); store is
+	// the shared archive object store (nil without an archive), which
+	// each stream views through its own key prefix.
+	pool    *tenant.Pool
+	streams *tenant.Registry[*stream]
+	store   archive.ObjectStore
+
+	// def is the default stream; the fields below alias its subsystems
+	// for the single-stream API surface (RecoveryInfo) and the tests
+	// that reach into them.
+	def            *stream
+	coal           *coalescer
+	dur            *durability
+	deg            *degradedState
 	ship           *archive.Shipper
 	archiveM       *archiveMetrics
 	restored       *archive.RestoreInfo
 	restoreSkipped bool
 
+	// tenantOps maps "METHOD op" to the handler the /v1/{stream}/{op}
+	// dispatcher invokes, pre-wrapped with the same per-endpoint
+	// telemetry (and read guard) the default plane uses.
+	tenantOps map[string]http.HandlerFunc
+
+	streamsActive     *obs.Gauge
+	streamsRegistered *obs.Gauge
+	streamsMemory     *obs.Gauge
+	streamsEvicted    *obs.Counter
+
 	// start anchors the server's stream clock: points arriving
 	// without an explicit timestamp are stamped with seconds since
-	// start.
+	// start. Shared by every stream — tenants of one daemon live on
+	// one clock.
 	start time.Time
-
-	// events wakes /v1/events long-pollers; eventCursor is the end
-	// cursor as of the last flush, maintained on the writer goroutine
-	// and used to detect that a flush recorded new events.
-	events      notifier
-	eventCursor uint64
-
-	// shape is the stream's established modality/dimensionality
-	// (pointShape): 0 until the first ingested point fixes it (or New
-	// learns it from an already-published snapshot), -1 for token
-	// sets, the vector dimensionality otherwise. Every ingest and
-	// assign point is checked against it so a mismatched request gets
-	// a 400 instead of reaching the engine's distance kernels.
-	shape atomic.Int64
 
 	draining atomic.Bool
 	// drainCh is closed when Shutdown begins; long-poll sleeps select
@@ -76,114 +90,140 @@ type Server struct {
 	listener net.Listener
 	serveErr chan error
 	started  atomic.Bool
-	// coalStarted records that the coalescer run loop was actually
-	// launched; Shutdown only waits for its drain in that case (a
-	// failed Start never launches it, and waiting would hang forever).
-	coalStarted atomic.Bool
+	// runtimeStarted records that the writer pool and janitor were
+	// actually launched; Shutdown only waits for coalescer drains in
+	// that case (a failed Start never launches them, and waiting would
+	// hang forever).
+	runtimeStarted atomic.Bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	janitorOnce sync.Once
 }
 
-// New builds a server for the given clusterer. The clusterer must
-// already be constructed (its Options validated by edmstream.New);
-// cfg is validated here.
+// New builds a server whose default stream serves the given clusterer.
+// The clusterer must already be constructed (its Options validated by
+// edmstream.New); cfg is validated here.
 //
-// When cfg.DataDir is set, New also recovers the clusterer from the
-// write-ahead log in that directory — newest valid checkpoint plus the
-// log tail replayed through the normal batch-ingest path — before any
-// serving state (stream shape, event cursor) is derived from it. The
-// clusterer should be freshly constructed in that case: recovery
+// When cfg.DataDir is set, New also recovers the default stream from
+// the write-ahead log in that directory — newest valid checkpoint plus
+// the log tail replayed through the normal batch-ingest path — before
+// any serving state (stream shape, event cursor) is derived from it.
+// The clusterer should be freshly constructed in that case: recovery
 // rebuilds the acknowledged state, and points fed in beforehand would
-// make the recovered stream diverge from the log.
+// make the recovered stream diverge from the log. Named streams keep
+// their state under DataDir/streams/<name>/ and recover the same way
+// on first touch.
 func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		c:        c,
-		cfg:      cfg,
-		reg:      obs.NewRegistry(),
-		start:    time.Now(),
-		drainCh:  make(chan struct{}),
-		serveErr: make(chan error, 1),
+		c:           c,
+		cfg:         cfg,
+		reg:         obs.NewRegistry(),
+		start:       time.Now(),
+		drainCh:     make(chan struct{}),
+		serveErr:    make(chan error, 1),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
 	}
-	if cfg.DataDir != "" {
-		if cfg.archiveConfigured() {
-			store := cfg.ArchiveStore
-			if store == nil {
-				var err error
-				store, err = archive.OpenStore(cfg.ArchiveURL)
-				if err != nil {
-					return nil, fmt.Errorf("server: opening archive %q: %w", cfg.ArchiveURL, err)
-				}
-			}
-			if cfg.RestoreFromArchive {
-				info, err := archive.Restore(store, cfg.DataDir)
-				switch {
-				case errors.Is(err, archive.ErrLocalState):
-					// Local WAL state is the durability authority; the
-					// restore defers to it rather than overwrite acked
-					// records with an older remote view.
-					s.restoreSkipped = true
-				case err != nil:
-					return nil, fmt.Errorf("server: restoring %s from archive: %w", cfg.DataDir, err)
-				default:
-					s.restored = &info
-				}
-			}
-			ship, err := archive.NewShipper(archive.ShipperOptions{
-				Dir:         cfg.DataDir,
-				Store:       store,
-				QueueLen:    cfg.ArchiveQueue,
-				RetryBase:   cfg.ArchiveRetryBase,
-				RetryMax:    cfg.ArchiveRetryMax,
-				ResyncEvery: cfg.ArchiveResync,
-				Compress:    cfg.CheckpointCompress,
-			})
+	if cfg.DataDir != "" && cfg.archiveConfigured() {
+		store := cfg.ArchiveStore
+		if store == nil {
+			var err error
+			store, err = archive.OpenStore(cfg.ArchiveURL)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("server: opening archive %q: %w", cfg.ArchiveURL, err)
 			}
-			s.ship = ship
-			s.archiveM = newArchiveMetrics(s.reg)
 		}
-		dur, err := openDurability(c, cfg, s.reg, s.ship)
-		if err != nil {
-			if s.ship != nil {
-				_ = s.ship.Close(time.Second)
-			}
-			return nil, err
-		}
-		s.dur = dur
-		if s.ship != nil {
-			// Started only after recovery: the first reconcile pass then
-			// sees the recovered (and pruned) directory, not a moving one.
-			s.ship.Start()
-		}
+		s.store = store
 	}
 	s.adm = newAdmission(cfg, s.reg)
-	s.deg = newDegradedState(s.reg)
-	s.coal = newCoalescer(c, cfg, s.reg)
-	s.coal.dur = s.dur
-	s.coal.deg = s.deg
-	s.coal.probeEvery = cfg.DegradedProbeInterval
-	s.coal.onFlush = s.flushHook
-	_, s.eventCursor = c.EventsSince(^uint64(0))
-	// A pre-fed clusterer that already published a snapshot fixes the
-	// stream shape before the first ingest arrives.
-	if snap := c.LastSnapshot(); len(snap.Clusters) > 0 && len(snap.Clusters[0].SeedPoints) > 0 {
-		s.shape.Store(pointShape(snap.Clusters[0].SeedPoints[0]))
+	s.pool = tenant.NewPool(cfg.WriterPool)
+	s.streamsActive = s.reg.Gauge("edmserved_streams_active", "")
+	s.streamsRegistered = s.reg.Gauge("edmserved_streams_registered", "")
+	s.streamsMemory = s.reg.Gauge("edmserved_streams_memory_bytes", "")
+	s.streamsEvicted = s.reg.Counter("edmserved_streams_evicted_total", "")
+	s.streams = tenant.NewRegistry(tenant.Config[*stream]{
+		Factory:        s.buildStream,
+		MaxStreams:     cfg.MaxStreams,
+		MemoryBudget:   cfg.MemoryBudget,
+		EvictIdleAfter: cfg.EvictIdleAfter,
+		// Eviction requires a WAL: releasing an engine without durable
+		// state would lose its acknowledged points.
+		Evictable: cfg.DataDir != "",
+		CanEvict: func(st *stream) bool {
+			// The default stream is never evicted (the caller owns its
+			// engine; there is no factory path that rebuilds that exact
+			// object), and a degraded stream's WAL cannot take the
+			// eviction checkpoint. TryRetire last: once it succeeds the
+			// handle is permanently retired, so it must also be the
+			// final word.
+			if st.name == DefaultStream || st.deg.isDegraded() {
+				return false
+			}
+			return s.pool.TryRetire(st.handle)
+		},
+		OnEvict: func(string) { s.streamsEvicted.Inc() },
+	})
+	def, err := s.assembleStream(DefaultStream, c)
+	if err != nil {
+		return nil, err
 	}
+	if err := s.streams.Adopt(DefaultStream, def); err != nil {
+		def.shutdownClose(nil)
+		return nil, err
+	}
+	s.def = def
+	s.coal = def.coal
+	s.dur = def.dur
+	s.deg = def.deg
+	s.ship = def.ship
+	s.archiveM = def.archiveM
+	s.restored = def.restored
+	s.restoreSkipped = def.restoreSkipped
+	if err := s.discoverStreams(); err != nil {
+		def.shutdownClose(nil)
+		return nil, err
+	}
+
 	s.mux = http.NewServeMux()
-	s.route("POST /v1/ingest", "ingest", s.handleIngest)
-	// Data-plane reads sit behind the bounded-concurrency guard; the
-	// operator endpoints (events, stats, healthz, metrics) stay exempt
-	// so an overloaded or degraded server remains observable.
-	s.route("POST /v1/assign", "assign", s.readGuard(s.handleAssign))
-	s.route("GET /v1/snapshot", "snapshot", s.readGuard(s.handleSnapshot))
-	s.route("GET /v1/clusters/{id}", "cluster", s.readGuard(s.handleCluster))
-	s.route("GET /v1/events", "events", s.handleEvents)
-	s.route("GET /v1/stats", "stats", s.handleStats)
+	// Default plane: the un-prefixed endpoints alias the default
+	// stream (the pre-tenancy API, unchanged). Data-plane reads sit
+	// behind the bounded-concurrency guard; the operator endpoints
+	// (events, stats, healthz, metrics) stay exempt so an overloaded or
+	// degraded server remains observable.
+	s.route("POST /v1/ingest", "ingest", s.defaultPlane(s.handleIngest))
+	s.route("POST /v1/assign", "assign", s.readGuard(s.defaultPlane(s.handleAssign)))
+	s.route("GET /v1/snapshot", "snapshot", s.readGuard(s.defaultPlane(s.handleSnapshot)))
+	s.route("GET /v1/clusters/{id}", "cluster", s.readGuard(s.defaultPlane(s.handleCluster)))
+	s.route("GET /v1/events", "events", s.defaultPlane(s.handleEvents))
+	s.route("GET /v1/stats", "stats", s.defaultPlane(s.handleStats))
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
+	// Stream admin. The literal /v1/streams patterns are strictly more
+	// specific than the tenant wildcards below, so they win; the name
+	// "streams" itself is reserved by tenant.ValidateName.
+	s.route("GET /v1/streams", "streams", s.handleStreams)
+	s.route("DELETE /v1/streams/{stream}", "streams", s.handleStreamDelete)
+	// Tenant plane: one multi-segment wildcard per method, dispatched
+	// on the first op segment. Registering concrete per-op patterns
+	// like "GET /v1/{stream}/events" instead would conflict with
+	// "GET /v1/clusters/{id}" (both match /v1/clusters/events, neither
+	// more specific); the single wildcard is strictly less specific
+	// than every literal route, so the mux resolves all of them.
+	s.mux.HandleFunc("POST /v1/{stream}/{op...}", s.handleTenant)
+	s.mux.HandleFunc("GET /v1/{stream}/{op...}", s.handleTenant)
+	s.tenantOps = map[string]http.HandlerFunc{
+		"POST ingest":  s.instrument("ingest", s.tenantPlane(s.handleIngest, true)),
+		"POST assign":  s.instrument("assign", s.readGuard(s.tenantPlane(s.handleAssign, false))),
+		"GET snapshot": s.instrument("snapshot", s.readGuard(s.tenantPlane(s.handleSnapshot, false))),
+		"GET clusters": s.instrument("cluster", s.readGuard(s.tenantPlane(s.handleCluster, false))),
+		"GET events":   s.instrument("events", s.tenantPlane(s.handleEvents, false)),
+		"GET stats":    s.instrument("stats", s.tenantPlane(s.handleStats, false)),
+	}
 	s.http = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -194,14 +234,97 @@ func New(c *edmstream.Clusterer, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// route registers a handler wrapped with per-endpoint telemetry:
-// request counts and latency quantiles under the endpoint label.
-func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+// streamHandler is a handler bound to one pinned stream. rest carries
+// the path remainder after the op segment (the cluster id); it is ""
+// for ops that take none.
+type streamHandler func(st *stream, w http.ResponseWriter, r *http.Request, rest string)
+
+// defaultPlane adapts a stream handler to the un-prefixed endpoints:
+// pin the default stream (always registered, never evicted) for the
+// request's duration.
+func (s *Server) defaultPlane(h streamHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st, release, err := s.streams.Acquire(DefaultStream, false)
+		if err != nil {
+			s.acquireError(w, DefaultStream, err)
+			return
+		}
+		defer release()
+		h(st, w, r, r.PathValue("id"))
+	}
+}
+
+// tenantPlane adapts a stream handler to the /v1/{stream}/... plane:
+// validate the name, pin the stream — creating it when create is set
+// (ingest) and transparently reviving it when it was evicted — and run
+// the handler with the pin held, so the evictor can never pull the
+// engine out from under a request.
+func (s *Server) tenantPlane(h streamHandler, create bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("stream")
+		if err := tenant.ValidateName(name); err != nil && name != DefaultStream {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		_, rest, _ := strings.Cut(r.PathValue("op"), "/")
+		st, release, err := s.streams.Acquire(name, create)
+		if err != nil {
+			s.acquireError(w, name, err)
+			return
+		}
+		defer release()
+		h(st, w, r, rest)
+	}
+}
+
+// handleTenant dispatches /v1/{stream}/{op...} on the first op
+// segment. Unknown ops 404 like unrouted paths.
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	op, rest, _ := strings.Cut(r.PathValue("op"), "/")
+	h, ok := s.tenantOps[r.Method+" "+op]
+	// clusters is the only op with a path remainder, and it requires one.
+	if !ok || (rest != "") != (op == "clusters") {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown endpoint %s for stream %q", r.URL.Path, r.PathValue("stream")))
+		return
+	}
+	h(w, r)
+}
+
+// acquireError maps a registry acquisition failure onto the HTTP
+// surface.
+func (s *Server) acquireError(w http.ResponseWriter, name string, err error) {
+	switch {
+	case errors.Is(err, tenant.ErrUnknownStream):
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error:  fmt.Sprintf("%v (POST /v1/%s/ingest creates it)", err, name),
+			Reason: reasonUnknownStream,
+		})
+	case errors.Is(err, tenant.ErrTooManyStreams):
+		// The stream cap is a capacity limit like any other: 429 with
+		// the overloaded reason, retry (or evict) and try again.
+		shedError(w, http.StatusTooManyRequests, err, reasonOverloaded, 1)
+	case errors.Is(err, tenant.ErrClosed):
+		shedError(w, http.StatusServiceUnavailable, errDraining, reasonDraining, 1)
+	case errors.Is(err, errNoFactory):
+		httpError(w, http.StatusNotImplemented, err)
+	default:
+		// The factory failed (engine construction or WAL recovery): a
+		// server-side fault, and the name stays revivable for a retry.
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// instrument wraps a handler with per-endpoint telemetry: request
+// counts and latency quantiles under the endpoint label. The registry
+// returns the same instruments for the same (name, labels) pair, so
+// the default plane and the tenant plane of one endpoint share one
+// series.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	labels := `endpoint="` + name + `"`
 	requests := s.reg.Counter("edmserved_http_requests_total", labels)
 	errCount := s.reg.Counter("edmserved_http_errors_total", labels)
 	latency := s.reg.Timing("edmserved_http_request_duration_seconds", labels)
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
@@ -210,7 +333,12 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 		if sw.status >= 400 {
 			errCount.Inc()
 		}
-	})
+	}
+}
+
+// route registers an instrumented handler on the mux.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(name, h))
 }
 
 // statusWriter records the response status for the error counter.
@@ -228,13 +356,23 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // Handler returns the server's HTTP handler (every endpoint,
 // telemetry included) for in-process use: tests and the e2e benchmark
-// drive it through httptest or a private listener. The coalescer must
-// be running — use Start, or StartDetached for handler-only serving.
+// drive it through httptest or a private listener. The writer pool
+// must be running — use Start, or StartDetached for handler-only
+// serving.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry exposes the server's telemetry registry (the e2e benchmark
 // reads coalescer distributions from it directly).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// startRuntime launches the shared serving machinery: the writer pool
+// and the janitor (eviction sweeps, degraded-mode probe scheduling,
+// tenancy gauges).
+func (s *Server) startRuntime() {
+	s.runtimeStarted.Store(true)
+	s.pool.Start()
+	go s.janitor()
+}
 
 // Start listens on cfg.Addr and serves until Shutdown. It returns
 // once the listener is bound (so callers may read Addr), with serving
@@ -249,8 +387,7 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.listener = ln
-	s.coalStarted.Store(true)
-	go s.coal.run()
+	s.startRuntime()
 	go func() {
 		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			s.serveErr <- err
@@ -259,12 +396,11 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// StartDetached starts only the coalescer, for callers that drive
-// Handler through their own listener (httptest servers).
+// StartDetached starts only the writer pool and janitor, for callers
+// that drive Handler through their own listener (httptest servers).
 func (s *Server) StartDetached() {
 	if s.started.CompareAndSwap(false, true) {
-		s.coalStarted.Store(true)
-		go s.coal.run()
+		s.startRuntime()
 	}
 }
 
@@ -286,52 +422,130 @@ func (s *Server) Err() error {
 	}
 }
 
-// Shutdown stops the server gracefully: new ingest requests are
-// rejected with 503, long-polls return immediately, in-flight
-// requests run to completion, and every ingest request accepted into
-// the coalescer queue is committed before the writer goroutine exits
-// — an acknowledged (HTTP 200) ingest is never dropped. The context
-// bounds the wait for in-flight HTTP requests; the final coalescer
-// drain is not abandoned on context expiry (it is bounded work:
-// at most MaxPending queued requests).
+// janitor is the shared background loop: it schedules degraded-mode
+// recovery probes onto each sick stream's writer (the probe must run
+// under the stream's single-writer ownership, so it is flagged and the
+// handle woken rather than run here), runs eviction sweeps at the
+// SweepInterval cadence, and refreshes the tenancy gauges. The tick is
+// the finer of the two cadences so neither starves the other.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := s.cfg.SweepInterval
+	if s.cfg.DegradedProbeInterval < tick {
+		tick = s.cfg.DegradedProbeInterval
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	lastSweep := time.Now()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for _, st := range s.streams.Live() {
+			if st.deg.isDegraded() && now.UnixNano() >= st.nextProbe.Load() {
+				st.nextProbe.Store(now.Add(s.cfg.DegradedProbeInterval).UnixNano())
+				st.coal.probeWanted.Store(true)
+				st.handle.Wake()
+			}
+		}
+		if now.Sub(lastSweep) >= s.cfg.SweepInterval {
+			lastSweep = now
+			s.streams.Sweep()
+		}
+		s.refreshTenancyGauges(s.streams.Stats())
+	}
+}
+
+func (s *Server) refreshTenancyGauges(rs tenant.Stats) {
+	s.streamsActive.Set(int64(rs.Live))
+	s.streamsRegistered.Set(int64(rs.Registered))
+	s.streamsMemory.Set(rs.MemoryBytes)
+}
+
+// Shutdown stops the server gracefully: new requests are rejected,
+// long-polls return immediately, in-flight requests run to completion,
+// and every ingest request accepted into any stream's coalescer queue
+// is committed before the writer pool stops — an acknowledged (HTTP
+// 200) ingest is never dropped, on any stream. The context bounds the
+// wait for in-flight HTTP requests; the final coalescer drains are not
+// abandoned on context expiry (bounded work: at most MaxPending queued
+// requests per stream).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.drainOnce.Do(func() { close(s.drainCh) })
-	s.events.wake() // release long-pollers so the HTTP drain can finish
+	for _, st := range s.streams.Live() {
+		st.events.wake() // release long-pollers so the HTTP drain can finish
+	}
 	var httpErr error
 	if s.listener != nil {
 		httpErr = s.http.Shutdown(ctx)
 	}
-	s.coal.beginShutdown()
-	if s.coalStarted.Load() {
-		// The drain is bounded work (at most the queued requests), so
-		// it is awaited even past ctx expiry — abandoning it would
-		// break the "acknowledged implies applied" contract.
-		<-s.coal.done
+	// Stop the janitor before closing the registry so no eviction
+	// races the shutdown's own stream teardown.
+	if s.runtimeStarted.Load() {
+		s.janitorOnce.Do(func() { close(s.janitorStop) })
+		<-s.janitorDone
 	}
-	if s.dur != nil {
-		// The writer goroutine has exited (or never ran), so the final
-		// checkpoint and close are race-free. Every acknowledged batch
-		// is already on disk — the checkpoint only shortens the next
-		// boot's replay.
-		if err := s.dur.close(s.c); err != nil && httpErr == nil {
-			httpErr = err
+	// In-flight requests are done (http.Shutdown returned), so the
+	// registry is quiescent: close it, then drain and close every
+	// stream that is still resident. Evicted streams need nothing —
+	// their eviction already checkpointed and closed them.
+	s.streams.Close()
+	live := s.streams.Live()
+	for _, st := range live {
+		st.coal.beginShutdown()
+		st.handle.Wake() // schedule the drain pass
+	}
+	if s.runtimeStarted.Load() {
+		for _, st := range live {
+			// Bounded work (at most the queued requests), so it is
+			// awaited even past ctx expiry — abandoning it would break
+			// the "acknowledged implies applied" contract.
+			<-st.coal.done
 		}
 	}
-	if s.ship != nil {
-		// After dur.close so the final checkpoint's seal/save
-		// notifications are already queued; the drain gives each pending
-		// upload one best-effort attempt.
-		if err := s.ship.Close(5 * time.Second); err != nil && httpErr == nil {
+	s.pool.Stop()
+	for _, st := range live {
+		if err := st.shutdownClose(st.c); err != nil && httpErr == nil {
 			httpErr = err
 		}
 	}
 	return httpErr
 }
 
-// RecoveryInfo reports what the durability subsystem found and
-// recovered at startup. Meaningful only when the server was configured
-// with a DataDir; the zero value otherwise.
+// shutdownClose releases one stream's durability and archive resources
+// at server shutdown: final checkpoint + WAL close, then the shipper
+// drain. c may be nil when the stream never served (boot-failure
+// cleanup).
+func (st *stream) shutdownClose(c *edmstream.Clusterer) error {
+	var err error
+	if st.dur != nil {
+		// The writer pool has stopped, so the final checkpoint and
+		// close are race-free. Every acknowledged batch is already on
+		// disk — the checkpoint only shortens the next boot's replay.
+		if c != nil {
+			err = st.dur.close(c)
+		} else {
+			err = st.dur.close(st.c)
+		}
+	}
+	if st.ship != nil {
+		// After dur.close so the final checkpoint's seal/save
+		// notifications are already queued; the drain gives each
+		// pending upload one best-effort attempt.
+		if serr := st.ship.Close(5 * time.Second); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// RecoveryInfo reports what the default stream's durability subsystem
+// found and recovered at startup. Meaningful only when the server was
+// configured with a DataDir; the zero value otherwise.
 func (s *Server) RecoveryInfo() wal.RecoveryInfo {
 	if s.dur == nil {
 		return wal.RecoveryInfo{}
@@ -343,47 +557,9 @@ func (s *Server) RecoveryInfo() wal.RecoveryInfo {
 // Points without explicit timestamps are stamped with it.
 func (s *Server) streamNow() float64 { return time.Since(s.start).Seconds() }
 
-// checkShape verifies every point against the stream's established
-// shape. When learn is true (the ingest path) the first point of an
-// unshaped stream fixes the shape; the assign path never learns —
-// reads must not define the stream. Concurrent first ingests race on
-// the CAS; exactly one shape wins and the loser's request is rejected
-// like any other mismatch.
-func (s *Server) checkShape(pts []edmstream.Point, learn bool) error {
-	for i := range pts {
-		ps := pointShape(pts[i])
-		cur := s.shape.Load()
-		if cur == 0 {
-			if !learn {
-				// Nothing established yet and reads cannot establish
-				// it; the engine has no cells, so any probe is an
-				// outlier anyway.
-				continue
-			}
-			if s.shape.CompareAndSwap(0, ps) {
-				continue
-			}
-			cur = s.shape.Load()
-		}
-		if ps != cur {
-			return fmt.Errorf("point %d: stream serves %s points, got %s", i, shapeString(cur), shapeString(ps))
-		}
-	}
-	return nil
-}
-
-// flushHook runs on the writer goroutine after every committed batch:
-// if the flush recorded new evolution events, wake the long-pollers.
-func (s *Server) flushHook() {
-	if _, cur := s.c.EventsSince(^uint64(0)); cur != s.eventCursor {
-		s.eventCursor = cur
-		s.events.wake()
-	}
-}
-
 // ---- Handlers ----
 
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(st *stream, w http.ResponseWriter, r *http.Request, _ string) {
 	// Rejections are checked cheapest-first and before the body is read
 	// — the whole point of shedding is to not spend work on requests
 	// the server cannot serve.
@@ -391,7 +567,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		shedError(w, http.StatusServiceUnavailable, errDraining, reasonDraining, 1)
 		return
 	}
-	if s.deg.isDegraded() {
+	if st.deg.isDegraded() {
 		s.adm.shedDegraded.Inc()
 		shedError(w, http.StatusServiceUnavailable, errDegraded, reasonDegraded,
 			retryAfterSeconds(2*s.cfg.DegradedProbeInterval))
@@ -401,7 +577,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// exceeds the deadline, telling the client when the queue should
 	// have drained. The estimate is observed either way so the
 	// distribution shows the pressure that led to shedding.
-	est := s.coal.estimateWait()
+	est := st.coal.estimateWait()
 	s.adm.estWait.Observe(est.Seconds())
 	if est > s.cfg.IngestDeadline {
 		s.adm.shedEstimate.Inc()
@@ -417,7 +593,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.checkShape(pts, true); err != nil {
+	if err := st.checkShape(pts, true); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -434,7 +610,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.IngestDeadline)
 		defer cancel()
 	}
-	cells, err := s.coal.submit(ctx, pts)
+	cells, err := st.coal.submit(ctx, pts)
 	switch {
 	case errors.Is(err, errDraining):
 		shedError(w, http.StatusServiceUnavailable, err, reasonDraining, 1)
@@ -451,7 +627,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.adm.shedTimeout.Inc()
 		shedError(w, http.StatusTooManyRequests,
 			fmt.Errorf("ingest queue full: not admitted within the %v deadline", s.cfg.IngestDeadline),
-			reasonOverloaded, retryAfterSeconds(s.coal.estimateWait()))
+			reasonOverloaded, retryAfterSeconds(st.coal.estimateWait()))
 		return
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Client went away while queued; nothing was committed for it.
@@ -466,23 +642,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: len(pts), Cells: cells})
 }
 
-func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAssign(st *stream, w http.ResponseWriter, r *http.Request, _ string) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	pts, err := decodePoints(body, s.streamNow(), s.cfg.MaxBatch)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.checkShape(pts, false); err != nil {
+	if err := st.checkShape(pts, false); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ids := s.c.AssignBatch(pts, make([]int, 0, len(pts)))
+	ids := st.c.AssignBatch(pts, make([]int, 0, len(pts)))
 	writeJSON(w, http.StatusOK, assignResponse{Clusters: ids})
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	snap := s.c.LastSnapshot()
+func (s *Server) handleSnapshot(st *stream, w http.ResponseWriter, r *http.Request, _ string) {
+	snap := st.c.LastSnapshot()
 	resp := snapshotResponse{
 		Time:         snap.Time,
 		Tau:          snap.Tau,
@@ -496,13 +672,13 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.PathValue("id"))
+func (s *Server) handleCluster(st *stream, w http.ResponseWriter, r *http.Request, rawID string) {
+	id, err := strconv.Atoi(rawID)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster id %q is not an integer", r.PathValue("id")))
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster id %q is not an integer", rawID))
 		return
 	}
-	snap := s.c.LastSnapshot()
+	snap := st.c.LastSnapshot()
 	cl, ok := snap.Cluster(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no cluster %d in the published snapshot", id))
@@ -536,7 +712,7 @@ func summarize(cl *edmstream.ClusterInfo) wireClusterSummary {
 	}
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEvents(st *stream, w http.ResponseWriter, r *http.Request, _ string) {
 	q := r.URL.Query()
 	var cursor uint64
 	if raw := q.Get("cursor"); raw != "" {
@@ -565,16 +741,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(wait)
 
 	for {
-		evs, next := s.c.EventsSince(cursor)
+		evs, next := st.c.EventsSince(cursor)
 		if len(evs) > 0 || wait <= 0 || s.draining.Load() {
 			writeJSON(w, http.StatusOK, eventsResponse{Cursor: next, Events: toWireEvents(evs)})
 			return
 		}
 		// Long-poll: register for a wake-up, then re-check so an event
 		// recorded between the check above and the registration is not
-		// missed, then sleep until events, deadline or disconnect.
-		ch := s.events.wait()
-		if evs, next = s.c.EventsSince(cursor); len(evs) > 0 {
+		// missed, then sleep until events, deadline or disconnect. The
+		// pin held across the sleep keeps the stream resident — a
+		// watched stream is not idle.
+		ch := st.events.wait()
+		if evs, next = st.c.EventsSince(cursor); len(evs) > 0 {
 			writeJSON(w, http.StatusOK, eventsResponse{Cursor: next, Events: toWireEvents(evs)})
 			return
 		}
@@ -602,13 +780,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse is the GET /v1/stats body: engine counters plus the
-// server's own serving-side numbers.
+// server's own serving-side numbers, for the addressed stream.
 type statsResponse struct {
 	Engine edmstream.Stats `json:"engine"`
 	Server serverStats     `json:"server"`
 }
 
 type serverStats struct {
+	Stream         string           `json:"stream"`
 	UptimeSeconds  float64          `json:"uptime_seconds"`
 	StreamTime     float64          `json:"stream_time"`
 	Tau            float64          `json:"tau"`
@@ -617,8 +796,25 @@ type serverStats struct {
 	DegradedReason string           `json:"degraded_reason,omitempty"`
 	Coalescer      coalescerStats   `json:"coalescer"`
 	Admission      admissionStats   `json:"admission"`
+	Tenancy        tenancyStats     `json:"tenancy"`
 	Durability     *durabilityStats `json:"durability,omitempty"`
 	Archive        *archiveStats    `json:"archive,omitempty"`
+}
+
+// tenancyStats is the multi-tenant section of GET /v1/stats: the
+// registry's aggregate view plus the writer pool's. Identical on every
+// stream's stats (it is daemon-global).
+type tenancyStats struct {
+	StreamsLive       int     `json:"streams_live"`
+	StreamsRegistered int     `json:"streams_registered"`
+	MaxStreams        int     `json:"max_streams"`
+	WriterPool        int     `json:"writer_pool"`
+	WriterQueueDepth  int     `json:"writer_queue_depth"`
+	MemoryBudget      int64   `json:"memory_budget_bytes"`
+	MemoryEstimate    int64   `json:"memory_estimate_bytes"`
+	Evictions         uint64  `json:"evictions"`
+	Revivals          uint64  `json:"revivals"`
+	EvictIdleAfterSec float64 `json:"evict_idle_after_seconds"`
 }
 
 // admissionStats is the load-shedding section of GET /v1/stats: how
@@ -639,8 +835,8 @@ type admissionStats struct {
 
 // durabilityStats is the WAL section of GET /v1/stats, present only
 // when the server runs with a DataDir. Counters come from the obs
-// instruments the writer goroutine maintains; the recovery block is
-// frozen at startup.
+// instruments the writer maintains; the recovery block is frozen at
+// startup.
 type durabilityStats struct {
 	Records          uint64  `json:"records"`
 	Bytes            uint64  `json:"bytes"`
@@ -694,27 +890,30 @@ type coalescerStats struct {
 	FlushP99Sec      float64 `json:"flush_p99_seconds"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	size := s.coal.batchSize.Stats()
-	reqs := s.coal.batchReqs.Stats()
-	wait := s.coal.batchWait.Stats()
-	flush := s.coal.flushSeconds.Stats()
+func (s *Server) handleStats(st *stream, w http.ResponseWriter, r *http.Request, _ string) {
+	size := st.coal.batchSize.Stats()
+	reqs := st.coal.batchReqs.Stats()
+	wait := st.coal.batchWait.Stats()
+	flush := st.coal.flushSeconds.Stats()
 	estWait := s.adm.estWait.Stats()
+	rs := s.streams.Stats()
+	s.refreshTenancyGauges(rs)
 	resp := statsResponse{
-		Engine: s.c.Stats(),
+		Engine: st.c.Stats(),
 		Server: serverStats{
+			Stream:         st.name,
 			UptimeSeconds:  time.Since(s.start).Seconds(),
-			StreamTime:     s.c.LastSnapshot().Time,
-			Tau:            s.c.LastSnapshot().Tau,
+			StreamTime:     st.c.LastSnapshot().Time,
+			Tau:            st.c.LastSnapshot().Tau,
 			Draining:       s.draining.Load(),
-			Degraded:       s.deg.isDegraded(),
-			DegradedReason: degradedReasonIf(s.deg),
+			Degraded:       st.deg.isDegraded(),
+			DegradedReason: degradedReasonIf(st.deg),
 			Coalescer: coalescerStats{
-				Batches:          s.coal.batches.Value(),
-				Points:           s.coal.pointsTotal.Value(),
-				Rejects:          s.coal.rejectsTotal.Value(),
-				ClientCancels:    s.coal.clientCancels.Value(),
-				PendingRequests:  s.coal.pending.Value(),
+				Batches:          st.coal.batches.Value(),
+				Points:           st.coal.pointsTotal.Value(),
+				Rejects:          st.coal.rejectsTotal.Value(),
+				ClientCancels:    st.coal.clientCancels.Value(),
+				PendingRequests:  st.coal.pending.Value(),
 				BatchPointsP50:   size.P50,
 				BatchPointsP90:   size.P90,
 				BatchPointsP99:   size.P99,
@@ -734,13 +933,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				ShedReads:          s.adm.shedReads.Value(),
 				EstimatedWaitP50:   estWait.P50,
 				EstimatedWaitP99:   estWait.P99,
-				DegradedEntered:    s.deg.entered.Value(),
-				DegradedRecovered:  s.deg.recovered.Value(),
+				DegradedEntered:    st.deg.entered.Value(),
+				DegradedRecovered:  st.deg.recovered.Value(),
 				MaxReadConcurrency: cap(s.adm.readSem),
+			},
+			Tenancy: tenancyStats{
+				StreamsLive:       rs.Live,
+				StreamsRegistered: rs.Registered,
+				MaxStreams:        s.cfg.MaxStreams,
+				WriterPool:        s.pool.Workers(),
+				WriterQueueDepth:  s.pool.QueueDepth(),
+				MemoryBudget:      s.cfg.MemoryBudget,
+				MemoryEstimate:    rs.MemoryBytes,
+				Evictions:         rs.Evictions,
+				Revivals:          rs.Revivals,
+				EvictIdleAfterSec: s.cfg.EvictIdleAfter.Seconds(),
 			},
 		},
 	}
-	if d := s.dur; d != nil {
+	if d := st.dur; d != nil {
 		fs := d.fsync.Stats()
 		resp.Server.Durability = &durabilityStats{
 			Records:          d.records.Value(),
@@ -773,30 +984,83 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			},
 		}
 	}
-	if s.ship != nil {
-		st := s.ship.Stats()
-		s.archiveM.refresh(st)
+	if st.ship != nil {
+		stats := st.ship.Stats()
+		st.archiveM.refresh(stats)
 		resp.Server.Archive = &archiveStats{
-			Shipped:              st.Shipped,
-			ShippedBytes:         st.ShippedBytes,
-			ReadBytes:            st.ReadBytes,
-			Failed:               st.Failed,
-			Retried:              st.Retried,
-			Dropped:              st.Dropped,
-			Skipped:              st.Skipped,
-			Pruned:               st.Pruned,
-			LagObjects:           st.LagObjects,
-			LagRecords:           st.LagRecords,
-			LagSeconds:           st.LagSeconds,
-			Lagging:              st.Lagging,
-			LocalThroughSeq:      st.LocalThroughSeq,
-			ShippedThroughSeq:    st.ShippedThroughSeq,
-			ShippedCheckpointSeq: st.ShippedCheckpointSeq,
-			Restore:              s.restored,
-			RestoreSkipped:       s.restoreSkipped,
+			Shipped:              stats.Shipped,
+			ShippedBytes:         stats.ShippedBytes,
+			ReadBytes:            stats.ReadBytes,
+			Failed:               stats.Failed,
+			Retried:              stats.Retried,
+			Dropped:              stats.Dropped,
+			Skipped:              stats.Skipped,
+			Pruned:               stats.Pruned,
+			LagObjects:           stats.LagObjects,
+			LagRecords:           stats.LagRecords,
+			LagSeconds:           stats.LagSeconds,
+			Lagging:              stats.Lagging,
+			LocalThroughSeq:      stats.LocalThroughSeq,
+			ShippedThroughSeq:    stats.ShippedThroughSeq,
+			ShippedCheckpointSeq: stats.ShippedCheckpointSeq,
+			Restore:              st.restored,
+			RestoreSkipped:       st.restoreSkipped,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamsResponse is the GET /v1/streams body.
+type streamsResponse struct {
+	Streams    []wireStreamInfo `json:"streams"`
+	MaxStreams int              `json:"max_streams"`
+}
+
+type wireStreamInfo struct {
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	Pins        int     `json:"pins"`
+	MemoryBytes int64   `json:"memory_bytes"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	infos := s.streams.Snapshot()
+	resp := streamsResponse{Streams: make([]wireStreamInfo, 0, len(infos)), MaxStreams: s.cfg.MaxStreams}
+	now := time.Now()
+	for _, in := range infos {
+		resp.Streams = append(resp.Streams, wireStreamInfo{
+			Name:        in.Name,
+			State:       in.State,
+			Pins:        in.Pins,
+			MemoryBytes: in.MemoryBytes,
+			IdleSeconds: now.Sub(in.LastTouch).Seconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStreamDelete is the admin evictor: DELETE /v1/streams/{stream}
+// checkpoints the named stream to disk and releases its memory; the
+// name stays registered and the next touch revives it.
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("stream")
+	if name == DefaultStream {
+		httpError(w, http.StatusBadRequest, errors.New("the default stream cannot be evicted"))
+		return
+	}
+	evicted, err := s.streams.EvictNow(name)
+	switch {
+	case errors.Is(err, tenant.ErrUnknownStream):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), Reason: reasonUnknownStream})
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+	case !evicted:
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("stream %q is busy (pinned, degraded, or its writer has queued work); retry", name))
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"stream": name, "state": "evicted"})
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -804,31 +1068,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
+	live := s.streams.Live()
+	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
+	degraded := false
+	var details []string
+	for _, st := range live {
+		if st.deg.isDegraded() {
+			// 200 on purpose: the read path is healthy and restarting
+			// the process would not fix the disk. The detail line tells
+			// orchestrators (and the runbook) which stream is refusing
+			// writes.
+			degraded = true
+			details = append(details, fmt.Sprintf("stream %s: degraded (%s)", st.name, st.deg.reason()))
+		}
+		if st.ship != nil && st.ship.Lagging() {
+			// A detail line, not a degradation: ingest acks never depend
+			// on the remote, so a lagging archive stays 200 — operators
+			// see the replica falling behind, orchestrators keep the pod.
+			details = append(details, fmt.Sprintf("stream %s: archive-lagging", st.name))
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	if s.deg.isDegraded() {
-		// 200 on purpose: the read path is healthy and restarting the
-		// process would not fix the disk. The body tells orchestrators
-		// (and the runbook) that ingest is refusing writes.
+	if degraded {
 		fmt.Fprintln(w, "degraded")
-		return
+	} else {
+		fmt.Fprintln(w, "ok")
 	}
-	fmt.Fprintln(w, "ok")
-	if s.ship != nil && s.ship.Lagging() {
-		// A detail line, not a degradation: ingest acks never depend on
-		// the remote, so a lagging archive stays 200/"ok" — orchestrators
-		// keep the pod, operators see the replica falling behind.
-		fmt.Fprintln(w, "archive-lagging")
+	for _, d := range details {
+		fmt.Fprintln(w, d)
 	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if s.ship != nil {
-		s.archiveM.refresh(s.ship.Stats())
+	for _, st := range s.streams.Live() {
+		if st.ship != nil {
+			st.archiveM.refresh(st.ship.Stats())
+		}
+		if st.dur != nil {
+			st.dur.syncRetryGauges()
+		}
 	}
-	if s.dur != nil {
-		s.dur.syncRetryGauges()
-	}
+	s.refreshTenancyGauges(s.streams.Stats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = s.reg.WritePrometheus(w)
@@ -837,7 +1118,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // ---- Helpers ----
 
 // degradedReasonIf returns the degradation cause only while degraded,
-// so a recovered server's stats stop carrying the stale error text.
+// so a recovered stream's stats stop carrying the stale error text.
 func degradedReasonIf(d *degradedState) string {
 	if !d.isDegraded() {
 		return ""

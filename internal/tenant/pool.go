@@ -1,0 +1,219 @@
+// Package tenant implements the multi-tenant serving substrate of
+// edmserved: a registry of named streams with lazy creation, a global
+// memory budget enforced by checkpoint-backed LRU eviction of idle
+// streams, and a bounded writer pool that multiplexes every stream's
+// single-writer ingest path over a fixed number of goroutines with
+// round-robin fairness.
+//
+// The package is deliberately mechanism-only: it knows nothing about
+// engines, WALs or HTTP. The server plugs in a factory that builds a
+// stream, an evictor that checkpoints and releases one, and a runner
+// that commits one coalesced batch. That keeps the lifecycle state
+// machine (create → live → evicting → evicted → revive) testable in
+// isolation from everything it orchestrates.
+package tenant
+
+import (
+	"sync"
+)
+
+// handleState is a Handle's scheduling state, guarded by the pool
+// mutex. The invariant the state machine protects: a handle's run
+// function is executed by at most one worker at a time, so every
+// stream keeps exactly the single-writer semantics it had when it
+// owned a dedicated goroutine.
+type handleState int
+
+const (
+	// handleIdle: not queued, not running. Wake moves it to queued.
+	handleIdle handleState = iota
+	// handleQueued: sitting in the pool's FIFO ready queue.
+	handleQueued
+	// handleRunning: a worker is inside run. Wake moves it to rearm.
+	handleRunning
+	// handleRearm: running, and a wake arrived meanwhile — the worker
+	// requeues it after run returns even if run reported no more work
+	// (the wake may have enqueued work run's final check missed).
+	handleRearm
+	// handleRetired: permanently removed (evicted stream). Wakes are
+	// no-ops; the handle never runs again.
+	handleRetired
+)
+
+// Handle is one stream's seat in the writer pool. Create it with
+// Pool.NewHandle, schedule work with Wake, and permanently remove it
+// with Pool.TryRetire when the stream is evicted.
+type Handle struct {
+	pool  *Pool
+	run   func() bool
+	state handleState // guarded by pool.mu
+}
+
+// Wake schedules the handle's run function: an idle handle joins the
+// tail of the ready queue (round-robin fairness — it runs after every
+// stream already waiting), a running handle is re-armed so it runs
+// again after the current pass, and a queued or retired handle is left
+// alone. Safe from any goroutine; never blocks.
+func (h *Handle) Wake() {
+	p := h.pool
+	p.mu.Lock()
+	switch h.state {
+	case handleIdle:
+		h.state = handleQueued
+		p.queue = append(p.queue, h)
+		p.cond.Signal()
+	case handleRunning:
+		h.state = handleRearm
+	}
+	p.mu.Unlock()
+}
+
+// Pool is the bounded writer pool: Workers goroutines executing handle
+// run functions from a FIFO ready queue. After each pass a handle with
+// more work re-joins the TAIL of the queue, so a hot stream with a
+// never-empty queue gets exactly one batch per round — it cannot
+// starve the streams behind it.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Handle
+	stopped bool
+	started bool
+	workers int
+	wg      sync.WaitGroup
+
+	// depth mirrors len(queue) for telemetry without taking the lock
+	// twice; read through QueueDepth.
+	depth int
+}
+
+// NewPool builds a pool that will run workers goroutines once Start is
+// called. workers must be at least 1.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// NewHandle registers a run function with the pool. run is called with
+// single-ownership (never concurrently with itself) and should perform
+// one bounded unit of work — gather and commit one batch — returning
+// true when more work is already queued behind it. Returning true
+// re-queues the handle at the tail; long work must be chunked this way
+// or one stream would hold a worker hostage.
+func (p *Pool) NewHandle(run func() bool) *Handle {
+	return &Handle{pool: p, run: run}
+}
+
+// Start launches the worker goroutines. Calling it twice is an error
+// in the caller; the second call is ignored.
+func (p *Pool) Start() {
+	p.mu.Lock()
+	if p.started || p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	p.mu.Unlock()
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// Started reports whether Start has run (the server's shutdown path
+// must not wait on drains no worker will ever perform).
+func (p *Pool) Started() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.started
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueDepth returns the current ready-queue length (telemetry).
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.depth
+}
+
+// Stop drains the ready queue and stops the workers: every handle
+// already queued (or re-queued by its own run) is still executed, then
+// the workers exit and Stop returns. Callers that need specific
+// streams drained must arrange the drains (wake the handles) before
+// calling Stop.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.stopped = true
+	p.cond.Broadcast()
+	started := p.started
+	p.mu.Unlock()
+	if started {
+		p.wg.Wait()
+	}
+}
+
+// TryRetire atomically retires an IDLE handle: if the handle is
+// neither queued nor running, it is marked retired — subsequent Wakes
+// are no-ops and the run function is guaranteed to never execute again
+// — and TryRetire returns true. A handle with work in flight (queued,
+// running or re-armed) is left untouched and TryRetire returns false.
+// This is the evictor's exclusivity gate: a true return means the
+// caller owns the stream's write path outright.
+func (p *Pool) TryRetire(h *Handle) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h.state != handleIdle {
+		return false
+	}
+	h.state = handleRetired
+	return true
+}
+
+// worker is one pool goroutine: pop the queue head, run it with
+// single-ownership, re-queue at the tail when it has more work.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.stopped {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		h := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.depth = len(p.queue)
+		h.state = handleRunning
+		p.mu.Unlock()
+
+		more := h.run()
+
+		p.mu.Lock()
+		rearm := h.state == handleRearm
+		if h.state == handleRunning || h.state == handleRearm {
+			if more || rearm {
+				h.state = handleQueued
+				p.queue = append(p.queue, h)
+				p.depth = len(p.queue)
+				p.cond.Signal()
+			} else {
+				h.state = handleIdle
+			}
+		}
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,192 @@
+package tenant
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsWokenHandle checks the basic wake → run path.
+func TestPoolRunsWokenHandle(t *testing.T) {
+	p := NewPool(2)
+	var runs atomic.Int64
+	h := p.NewHandle(func() bool {
+		runs.Add(1)
+		return false
+	})
+	p.Start()
+	defer p.Stop()
+	h.Wake()
+	waitFor(t, func() bool { return runs.Load() == 1 })
+}
+
+// TestPoolSingleOwnership: a handle's run function must never execute
+// concurrently with itself, no matter how many workers and wakes.
+func TestPoolSingleOwnership(t *testing.T) {
+	p := NewPool(8)
+	var inside atomic.Int64
+	var runs atomic.Int64
+	var violations atomic.Int64
+	h := p.NewHandle(func() bool {
+		if inside.Add(1) != 1 {
+			violations.Add(1)
+		}
+		time.Sleep(50 * time.Microsecond)
+		inside.Add(-1)
+		runs.Add(1)
+		return false
+	})
+	p.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				h.Wake()
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return p.QueueDepth() == 0 })
+	p.Stop()
+	if violations.Load() != 0 {
+		t.Fatalf("run executed concurrently with itself %d times", violations.Load())
+	}
+	if runs.Load() == 0 {
+		t.Fatal("handle never ran")
+	}
+}
+
+// TestPoolRearm: a wake landing while the handle is running must cause
+// one more pass even when run reports no more work — otherwise work
+// enqueued between run's final check and its return would strand.
+func TestPoolRearm(t *testing.T) {
+	p := NewPool(1)
+	var runs atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	h := p.NewHandle(func() bool {
+		runs.Add(1)
+		if first {
+			first = false
+			entered <- struct{}{}
+			<-release
+		}
+		return false
+	})
+	p.Start()
+	defer p.Stop()
+	h.Wake()
+	<-entered
+	h.Wake() // lands while running → rearm
+	close(release)
+	waitFor(t, func() bool { return runs.Load() == 2 })
+}
+
+// TestPoolFairness: a hot handle that always has more work must not
+// starve a second handle waiting in the queue.
+func TestPoolFairness(t *testing.T) {
+	p := NewPool(1) // single worker makes starvation possible
+	var hotRuns, coldRan atomic.Int64
+	var keepHot atomic.Bool
+	keepHot.Store(true)
+	hot := p.NewHandle(func() bool {
+		hotRuns.Add(1)
+		return keepHot.Load() // claims more work until the test stands it down
+	})
+	cold := p.NewHandle(func() bool {
+		coldRan.Add(1)
+		return false
+	})
+	p.Start()
+	hot.Wake()
+	waitFor(t, func() bool { return hotRuns.Load() > 0 })
+	cold.Wake()
+	// The hot handle re-queues at the tail, so cold must run within one
+	// round despite hot never going idle.
+	waitFor(t, func() bool { return coldRan.Load() == 1 })
+	keepHot.Store(false) // Stop drains the queue; hot must stand down
+	p.Stop()
+}
+
+// TestPoolTryRetire: retire succeeds only on an idle handle, and a
+// retired handle never runs again.
+func TestPoolTryRetire(t *testing.T) {
+	p := NewPool(1)
+	var runs atomic.Int64
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	h := p.NewHandle(func() bool {
+		runs.Add(1)
+		blocked <- struct{}{}
+		<-release
+		return false
+	})
+	p.Start()
+	defer p.Stop()
+
+	h.Wake()
+	<-blocked // running now
+	if p.TryRetire(h) {
+		t.Fatal("TryRetire succeeded on a running handle")
+	}
+	close(release)
+	waitFor(t, func() bool { return runs.Load() == 1 && p.QueueDepth() == 0 })
+	// Let the worker finish the post-run bookkeeping before retiring.
+	waitFor(t, func() bool { return p.TryRetire(h) })
+	h.Wake() // must be a no-op
+	time.Sleep(20 * time.Millisecond)
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("retired handle ran again: %d runs", got)
+	}
+}
+
+// TestPoolStopDrainsQueue: handles queued before Stop still execute.
+func TestPoolStopDrainsQueue(t *testing.T) {
+	p := NewPool(1)
+	var runs atomic.Int64
+	handles := make([]*Handle, 16)
+	for i := range handles {
+		handles[i] = p.NewHandle(func() bool {
+			runs.Add(1)
+			return false
+		})
+	}
+	for _, h := range handles {
+		h.Wake()
+	}
+	p.Start()
+	p.Stop()
+	if got := runs.Load(); got != int64(len(handles)) {
+		t.Fatalf("Stop drained %d of %d queued handles", got, len(handles))
+	}
+}
+
+// TestPoolStopWithoutStart must not hang.
+func TestPoolStopWithoutStart(t *testing.T) {
+	p := NewPool(4)
+	h := p.NewHandle(func() bool { return false })
+	h.Wake()
+	done := make(chan struct{})
+	go func() { p.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop hung on a never-started pool")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
